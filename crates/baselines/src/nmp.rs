@@ -1,0 +1,129 @@
+//! Near-memory-processing (TransPIM-style) baseline.
+//!
+//! TransPIM places lightweight compute units next to HBM banks
+//! (function-in-memory DRAM). Data movement is much cheaper than going
+//! off-chip to a host accelerator, but every operand still crosses the bank
+//! interface, and the near-bank ALUs are less efficient than a dense digital
+//! datapath — let alone in-array analog accumulation.
+
+use crate::Accelerator;
+use hyflex_circuits::EnergyModel;
+use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::Result;
+use hyflex_transformer::config::ModelConfig;
+use hyflex_transformer::ops_count::{self, Stage};
+
+/// Relative inefficiency of a near-bank ALU versus a dense logic-process
+/// INT8 datapath. Function-in-memory DRAM implements its ALUs in the DRAM
+/// process, which costs several times more energy per operation.
+pub const NEAR_BANK_MAC_OVERHEAD: f64 = 8.0;
+
+/// Peak throughput of the near-bank compute (operations per second).
+pub const NMP_PEAK_OPS_PER_S: f64 = 1.2e12;
+
+/// Area of the logic-die portion attributable to the accelerator, mm².
+pub const NMP_AREA_MM2: f64 = 60.0;
+
+/// The TransPIM-style near-memory-processing baseline.
+#[derive(Debug, Clone)]
+pub struct NearMemoryProcessing {
+    energy: EnergyModel,
+}
+
+impl NearMemoryProcessing {
+    /// Creates the baseline with the shared 65 nm energy constants.
+    pub fn new() -> Self {
+        NearMemoryProcessing {
+            energy: EnergyModel::default(),
+        }
+    }
+
+    fn mac_pj(&self) -> f64 {
+        self.energy.int8_mac_pj * NEAR_BANK_MAC_OVERHEAD
+    }
+}
+
+impl Default for NearMemoryProcessing {
+    fn default() -> Self {
+        NearMemoryProcessing::new()
+    }
+}
+
+impl Accelerator for NearMemoryProcessing {
+    fn name(&self) -> &str {
+        "NMP (TransPIM)"
+    }
+
+    fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let linear_macs: f64 = stages
+            .iter()
+            .filter(|s| s.stage.is_static_weight())
+            .map(|s| s.ops as f64)
+            .sum();
+        // Weights stream from the HBM banks for every inference.
+        let weight_bytes = model.static_params_total() as f64;
+        Ok(linear_macs * self.mac_pj() + weight_bytes * self.energy.hbm_access_byte_pj)
+    }
+
+    fn end_to_end_energy(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let mut energy = EnergyBreakdown::default();
+        let total_macs: f64 = stages
+            .iter()
+            .filter(|s| !matches!(s.stage, Stage::Softmax))
+            .map(|s| s.ops as f64)
+            .sum();
+        let softmax_elems: f64 = stages
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::Softmax))
+            .map(|s| s.ops as f64)
+            .sum();
+        energy.digital_mac_pj = total_macs * self.mac_pj();
+        energy.sfu_pj = softmax_elems * self.energy.sfu_element_pj * NEAR_BANK_MAC_OVERHEAD;
+        // Weights plus activations and attention intermediates cross the bank
+        // interface.
+        let weight_bytes = model.static_params_total() as f64;
+        let activation_bytes = (seq_len * (model.hidden_dim + model.ffn_dim) * model.num_layers)
+            as f64
+            + (model.num_heads * seq_len * seq_len * model.num_layers) as f64;
+        energy.dram_access_pj =
+            (weight_bytes + activation_bytes) * self.energy.hbm_access_byte_pj;
+        Ok(energy)
+    }
+
+    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        let total: f64 = ops_count::total_ops(model, seq_len) as f64 * 2.0;
+        let latency_s = total / NMP_PEAK_OPS_PER_S;
+        Ok(total / latency_s / 1e12 / NMP_AREA_MM2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nmp_is_cheaper_than_dram_bound_but_more_expensive_than_pim() {
+        let model = ModelConfig::bert_large();
+        let nmp = NearMemoryProcessing::new();
+        let non_pim = crate::NonPim::new();
+        let hyflex = crate::HyFlexPimAccelerator::new(0.05);
+        let nmp_e = nmp.end_to_end_energy(&model, 128).unwrap().total_pj();
+        let non_pim_e = non_pim.end_to_end_energy(&model, 128).unwrap().total_pj();
+        let hyflex_e = hyflex.end_to_end_energy(&model, 128).unwrap().total_pj();
+        assert!(nmp_e < non_pim_e);
+        assert!(hyflex_e < nmp_e);
+    }
+
+    #[test]
+    fn linear_energy_includes_weight_streaming() {
+        let model = ModelConfig::bert_base();
+        let nmp = NearMemoryProcessing::new();
+        let at_n1 = nmp.linear_layer_energy_pj(&model, 1).unwrap();
+        // Even a single-token inference pays the full weight traffic.
+        let weight_bytes = model.static_params_total() as f64;
+        assert!(at_n1 > weight_bytes * EnergyModel::default().hbm_access_byte_pj);
+        assert!(nmp.tops_per_mm2(&model, 128).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Non-PIM digital baseline.
+//!
+//! A conventional INT8 digital accelerator: weights live in a 6.28 GB
+//! off-chip DRAM, are staged through a large on-chip SRAM cache, and all
+//! arithmetic happens in a dense digital datapath. This is the
+//! "data-movement-dominated" reference point of the paper's comparisons.
+
+use crate::Accelerator;
+use hyflex_circuits::EnergyModel;
+use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::Result;
+use hyflex_transformer::config::ModelConfig;
+use hyflex_transformer::ops_count::{self, Stage};
+
+/// Peak throughput of the digital datapath (operations per second).
+pub const NON_PIM_PEAK_OPS_PER_S: f64 = 2.0e12;
+
+/// Accelerator die area, mm² (65 nm).
+pub const NON_PIM_AREA_MM2: f64 = 40.0;
+
+/// Average number of times each weight byte crosses the DRAM interface per
+/// inference: the on-chip cache cannot hold the multi-hundred-megabyte weight
+/// set, so tiles are evicted and re-fetched while iterating over the
+/// sequence.
+pub const WEIGHT_REFETCH_FACTOR: f64 = 3.0;
+
+/// The non-PIM digital baseline.
+#[derive(Debug, Clone)]
+pub struct NonPim {
+    energy: EnergyModel,
+}
+
+impl NonPim {
+    /// Creates the baseline with the shared 65 nm energy constants.
+    pub fn new() -> Self {
+        NonPim {
+            energy: EnergyModel::default(),
+        }
+    }
+}
+
+impl Default for NonPim {
+    fn default() -> Self {
+        NonPim::new()
+    }
+}
+
+impl Accelerator for NonPim {
+    fn name(&self) -> &str {
+        "Non-PIM"
+    }
+
+    fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let linear_macs: f64 = stages
+            .iter()
+            .filter(|s| s.stage.is_static_weight())
+            .map(|s| s.ops as f64)
+            .sum();
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_REFETCH_FACTOR;
+        Ok(linear_macs * self.energy.int8_mac_pj
+            + weight_bytes * (self.energy.dram_access_byte_pj + self.energy.sram_cache_byte_pj))
+    }
+
+    fn end_to_end_energy(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let mut energy = EnergyBreakdown::default();
+        let mac_ops: f64 = stages
+            .iter()
+            .filter(|s| !matches!(s.stage, Stage::Softmax))
+            .map(|s| s.ops as f64)
+            .sum();
+        let softmax_elems: f64 = stages
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::Softmax))
+            .map(|s| s.ops as f64)
+            .sum();
+        energy.digital_mac_pj = mac_ops * self.energy.int8_mac_pj;
+        energy.sfu_pj = softmax_elems * self.energy.sfu_element_pj;
+
+        // Weight tiles cross DRAM and the SRAM cache several times per
+        // inference (limited cache capacity); activations bounce through SRAM.
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_REFETCH_FACTOR;
+        energy.dram_access_pj = weight_bytes * self.energy.dram_access_byte_pj;
+        let activation_bytes = (seq_len * (model.hidden_dim + model.ffn_dim) * model.num_layers)
+            as f64
+            + (model.num_heads * seq_len * seq_len * model.num_layers) as f64;
+        energy.sram_access_pj =
+            (weight_bytes + 4.0 * activation_bytes) * self.energy.sram_cache_byte_pj;
+        Ok(energy)
+    }
+
+    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        // Memory-bound: the DRAM interface (128 GB/s class) limits how fast
+        // weights arrive, so effective throughput is the lower of the compute
+        // peak and the bandwidth-implied rate.
+        let total_ops = ops_count::total_ops(model, seq_len) as f64 * 2.0;
+        let weight_bytes = model.static_params_total() as f64;
+        let compute_s = total_ops / NON_PIM_PEAK_OPS_PER_S;
+        let memory_s = weight_bytes / 128.0e9;
+        let latency_s = compute_s.max(memory_s);
+        Ok(total_ops / latency_s / 1e12 / NON_PIM_AREA_MM2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_traffic_dominates_at_short_sequences() {
+        let model = ModelConfig::bert_large();
+        let baseline = NonPim::new();
+        let energy = baseline.end_to_end_energy(&model, 128).unwrap();
+        let share = energy.dram_access_pj / energy.total_pj();
+        assert!(
+            share > 0.5,
+            "DRAM should dominate at N=128, share was {share:.2}"
+        );
+    }
+
+    #[test]
+    fn hyflexpim_end_to_end_gain_is_multiple_x() {
+        // Figure 15: ~6.15x at N=128 for BERT-Large.
+        let model = ModelConfig::bert_large();
+        let baseline = NonPim::new();
+        let hyflex = crate::HyFlexPimAccelerator::new(0.05);
+        let ratio = baseline.end_to_end_energy(&model, 128).unwrap().total_pj()
+            / hyflex.end_to_end_energy(&model, 128).unwrap().total_pj();
+        assert!(ratio > 2.0, "expected a multi-x gain, got {ratio:.2}");
+    }
+
+    #[test]
+    fn throughput_is_memory_bound_for_large_models_at_short_n() {
+        let model = ModelConfig::bert_large();
+        let baseline = NonPim::new();
+        let t_short = baseline.tops_per_mm2(&model, 128).unwrap();
+        let t_long = baseline.tops_per_mm2(&model, 4096).unwrap();
+        // At longer sequences the compute:weight ratio improves, so the
+        // effective TOPS/mm^2 rises until the compute peak binds.
+        assert!(t_long >= t_short);
+    }
+}

@@ -1,0 +1,167 @@
+//! SPRINT baseline model.
+//!
+//! SPRINT (MICRO'22) uses analog RRAM PIM only as a pre-processor: it
+//! computes approximate `Q·K` correlation scores in memory to prune
+//! unimportant tokens (74.6 % attention sparsity), then runs every remaining
+//! operation — including all linear layers — on a conventional digital INT8
+//! processor backed by on-chip SRAM and RRAM storage. Its shortcoming, which
+//! the paper leverages, is that the dominant FFN/projection work never
+//! benefits from in-memory computing.
+
+use crate::Accelerator;
+use hyflex_circuits::EnergyModel;
+use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::Result;
+use hyflex_transformer::config::ModelConfig;
+use hyflex_transformer::ops_count::{self, Stage};
+
+/// Attention sparsity achieved by SPRINT's in-memory token pruning.
+pub const SPRINT_ATTENTION_SPARSITY: f64 = 0.746;
+
+/// Peak INT8 throughput of SPRINT's digital processor (operations/second).
+pub const SPRINT_PEAK_OPS_PER_S: f64 = 2.0e12;
+
+/// Average number of times each weight byte is streamed from memory per
+/// inference (tile re-fetches while iterating over the sequence).
+pub const WEIGHT_STREAM_FACTOR: f64 = 1.5;
+
+/// Die area of the SPRINT-style digital accelerator, mm² (65 nm).
+pub const SPRINT_AREA_MM2: f64 = 30.0;
+
+/// The SPRINT baseline.
+#[derive(Debug, Clone)]
+pub struct Sprint {
+    energy: EnergyModel,
+}
+
+impl Sprint {
+    /// Creates the baseline with the shared 65 nm energy constants.
+    pub fn new() -> Self {
+        Sprint {
+            energy: EnergyModel::default(),
+        }
+    }
+
+    fn breakdown(&self, model: &ModelConfig, seq_len: usize) -> EnergyBreakdown {
+        let mut energy = EnergyBreakdown::default();
+        let stages = ops_count::model_ops(model, seq_len);
+        let mut linear_macs = 0.0f64;
+        let mut attention_macs = 0.0f64;
+        let mut softmax_elems = 0.0f64;
+        for s in &stages {
+            match s.stage {
+                Stage::TokenGenerationFc | Stage::ProjectionFc | Stage::Ffn1 | Stage::Ffn2 => {
+                    linear_macs += s.ops as f64
+                }
+                Stage::ScoreQKt | Stage::ProbV => attention_macs += s.ops as f64,
+                Stage::Softmax => softmax_elems += s.ops as f64,
+            }
+        }
+        // Linear layers: digital INT8 MACs plus weight streaming. SPRINT's
+        // RRAM is used for storage and token pruning, not as a weight-
+        // stationary compute fabric, so the multi-hundred-megabyte weight set
+        // still streams through the off-chip interface and the on-chip cache
+        // while the sequence is processed.
+        energy.digital_mac_pj = linear_macs * self.energy.int8_mac_pj;
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_STREAM_FACTOR;
+        energy.dram_access_pj = weight_bytes * self.energy.dram_access_byte_pj;
+        energy.sram_access_pj = weight_bytes * self.energy.sram_cache_byte_pj;
+
+        // Attention: 74.6% pruned by the in-RRAM pre-processor; the surviving
+        // fraction runs on the digital datapath. The pruning pass itself costs
+        // one analog MAC-equivalent per (query, key) pair at MSB precision.
+        let surviving = 1.0 - SPRINT_ATTENTION_SPARSITY;
+        energy.digital_mac_pj += attention_macs * surviving * self.energy.int8_mac_pj;
+        let pruning_pairs = (seq_len * seq_len * model.num_layers) as f64;
+        energy.linear_adc_pj = pruning_pairs * self.energy.adc_conversion_pj;
+        energy.analog_rram_read_pj =
+            pruning_pairs / 128.0 * self.energy.analog_array_read_cycle_pj;
+
+        // Softmax and other non-linearities on the digital datapath.
+        energy.sfu_pj = softmax_elems * surviving * self.energy.sfu_element_pj;
+
+        // Activations move between the processor and SRAM every layer.
+        let activation_bytes = (seq_len * model.hidden_dim * model.num_layers) as f64;
+        energy.sram_access_pj += activation_bytes * 4.0 * self.energy.sram_cache_byte_pj;
+        energy
+    }
+}
+
+impl Default for Sprint {
+    fn default() -> Self {
+        Sprint::new()
+    }
+}
+
+impl Accelerator for Sprint {
+    fn name(&self) -> &str {
+        "SPRINT"
+    }
+
+    fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let linear_macs: f64 = stages
+            .iter()
+            .filter(|s| s.stage.is_static_weight())
+            .map(|s| s.ops as f64)
+            .sum();
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_STREAM_FACTOR;
+        Ok(linear_macs * self.energy.int8_mac_pj
+            + weight_bytes * (self.energy.dram_access_byte_pj + self.energy.sram_cache_byte_pj))
+    }
+
+    fn end_to_end_energy(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
+        Ok(self.breakdown(model, seq_len))
+    }
+
+    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
+        // Effective work: everything except the pruned attention fraction.
+        let stages = ops_count::model_ops(model, seq_len);
+        let total: f64 = stages.iter().map(|s| s.ops as f64).sum::<f64>() * 2.0;
+        let attention: f64 = stages
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::ScoreQKt | Stage::ProbV))
+            .map(|s| s.ops as f64)
+            .sum::<f64>()
+            * 2.0;
+        let executed = total - attention * SPRINT_ATTENTION_SPARSITY;
+        let latency_s = executed / SPRINT_PEAK_OPS_PER_S;
+        let tops = total / latency_s / 1e12;
+        Ok(tops / SPRINT_AREA_MM2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_only_helps_attention_not_linear_layers() {
+        let model = ModelConfig::bert_large();
+        let sprint = Sprint::new();
+        let short = sprint.end_to_end_energy(&model, 128).unwrap().total_pj();
+        let long = sprint.end_to_end_energy(&model, 1024).unwrap().total_pj();
+        assert!(long > short);
+        // Linear energy scales linearly with N and dominates at short N.
+        let linear = sprint.linear_layer_energy_pj(&model, 128).unwrap();
+        assert!(linear / short > 0.5);
+    }
+
+    #[test]
+    fn hyflexpim_advantage_over_sprint_is_large_and_shrinks_with_n() {
+        // Figure 14/16: the advantage is biggest at small N where FFNs
+        // dominate and SPRINT accelerates nothing of them.
+        let model = ModelConfig::bert_large();
+        let sprint = Sprint::new();
+        let hyflex = crate::HyFlexPimAccelerator::new(0.1);
+        let ratio_at = |n: usize| {
+            sprint.linear_layer_energy_pj(&model, n).unwrap()
+                / hyflex.linear_layer_energy_pj(&model, n).unwrap()
+        };
+        let small = ratio_at(128);
+        assert!(small > 1.2, "expected a clear linear-layer gain, got {small:.2}");
+        let speedup = hyflex.tops_per_mm2(&model, 128).unwrap()
+            / sprint.tops_per_mm2(&model, 128).unwrap();
+        assert!(speedup > 3.0, "throughput speedup {speedup:.1}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benches for the architecture-level evaluation paths used by the
+//! figure binaries: the HyFlexPIM performance model and the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyflex_baselines::{Accelerator, Asadi, AsadiPrecision, NonPim, Sprint};
+use hyflex_pim::perf::{EvaluationPoint, PerformanceModel};
+use hyflex_pim::scalability::ScalabilityModel;
+use hyflex_transformer::ModelConfig;
+use std::hint::black_box;
+
+fn bench_perf_model(c: &mut Criterion) {
+    let model = PerformanceModel::paper_default();
+    let point = EvaluationPoint {
+        model: ModelConfig::bert_large(),
+        seq_len: 1024,
+        slc_rank_fraction: 0.1,
+    };
+    c.bench_function("perf/hyflexpim_bert_large_n1024", |b| {
+        b.iter(|| model.evaluate(black_box(&point)).unwrap())
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let config = ModelConfig::bert_large();
+    let mut group = c.benchmark_group("perf/baselines_end_to_end_n1024");
+    group.bench_function("asadi_int8", |b| {
+        let acc = Asadi::new(AsadiPrecision::Int8);
+        b.iter(|| acc.end_to_end_energy(black_box(&config), 1024).unwrap())
+    });
+    group.bench_function("sprint", |b| {
+        let acc = Sprint::new();
+        b.iter(|| acc.end_to_end_energy(black_box(&config), 1024).unwrap())
+    });
+    group.bench_function("non_pim", |b| {
+        let acc = NonPim::new();
+        b.iter(|| acc.end_to_end_energy(black_box(&config), 1024).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let model = ScalabilityModel::paper_default();
+    c.bench_function("perf/figure17_sweep", |b| {
+        b.iter(|| model.figure17().unwrap())
+    });
+}
+
+criterion_group!(benches, bench_perf_model, bench_baselines, bench_scalability);
+criterion_main!(benches);

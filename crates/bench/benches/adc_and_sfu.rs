@@ -1,0 +1,48 @@
+//! Criterion benches for the mixed-signal peripheral models: SAR ADC
+//! conversion in 6-b and 7-b modes, and the SFU non-linear kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyflex_circuits::adc::{AdcMode, SarAdc};
+use hyflex_circuits::SpecialFunctionUnit;
+use std::hint::black_box;
+
+fn bench_adc(c: &mut Criterion) {
+    let slc = SarAdc::for_crossbar(AdcMode::Slc6Bit, 64, 1).unwrap();
+    let mlc = SarAdc::for_crossbar(AdcMode::Mlc7Bit, 64, 2).unwrap();
+    let samples: Vec<f64> = (0..128).map(|i| (i as f64) * 0.43 % 64.0).collect();
+    let mut group = c.benchmark_group("adc/128_bitline_conversions");
+    group.bench_function("slc_6bit", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .map(|&s| slc.convert(black_box(s)).code)
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("mlc_7bit", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .map(|&s| mlc.convert(black_box(s * 3.0)).code)
+                .sum::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sfu(c: &mut Criterion) {
+    let mut sfu = SpecialFunctionUnit::new();
+    let logits: Vec<f32> = (0..256).map(|i| ((i % 23) as f32 - 11.0) * 0.3).collect();
+    let gamma = vec![1.0f32; 256];
+    let beta = vec![0.0f32; 256];
+    let mut group = c.benchmark_group("sfu/256_inputs");
+    group.bench_function("softmax", |b| b.iter(|| sfu.softmax(black_box(&logits))));
+    group.bench_function("layer_norm", |b| {
+        b.iter(|| sfu.layer_norm(black_box(&logits), &gamma, &beta).unwrap())
+    });
+    group.bench_function("gelu", |b| b.iter(|| sfu.gelu(black_box(&logits))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_adc, bench_sfu);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the SVD / gradient-redistribution pipeline pieces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::{svd, Matrix};
+use hyflex_transformer::layers::Linear;
+use hyflex_transformer::FactoredLinear;
+use std::hint::black_box;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut group = c.benchmark_group("svd/jacobi");
+    for &size in &[16usize, 32, 64] {
+        let w = Matrix::random_normal(size, size, 0.0, 0.5, &mut rng);
+        group.bench_function(format!("{size}x{size}"), |b| {
+            b.iter(|| svd::svd(black_box(&w)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_factored_layer(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(4);
+    let weight = Matrix::random_normal(64, 64, 0.0, 0.5, &mut rng);
+    let dense = Linear::from_weight(weight.clone());
+    let mut factored = FactoredLinear::from_weight_hard_threshold(&weight).unwrap();
+    let x = Matrix::random_normal(16, 64, 0.0, 1.0, &mut rng);
+    let upstream = Matrix::random_normal(16, 64, 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("factored_linear_64x64");
+    group.bench_function("factorize_hard_threshold", |b| {
+        b.iter(|| FactoredLinear::from_weight_hard_threshold(black_box(&weight)).unwrap())
+    });
+    group.bench_function("dense_forward", |b| {
+        b.iter(|| dense.forward(black_box(&x)).unwrap())
+    });
+    group.bench_function("factored_forward", |b| {
+        b.iter(|| factored.forward(black_box(&x)).unwrap())
+    });
+    group.bench_function("factored_backward", |b| {
+        b.iter(|| factored.backward(black_box(&x), black_box(&upstream)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd, bench_factored_layer);
+criterion_main!(benches);

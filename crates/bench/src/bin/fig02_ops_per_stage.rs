@@ -1,0 +1,36 @@
+//! Figure 2: number of operations per transformer stage vs sequence length.
+
+use hyflex_bench::{fmt, print_row};
+use hyflex_transformer::ops_count::{self, Stage};
+use hyflex_transformer::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::bert_base();
+    let lengths = [128usize, 512, 1024, 2048, 3072];
+    println!("Figure 2 — operations per stage (BERT-Base, x1e8 operations)");
+    print_row(
+        "Stage",
+        &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
+    );
+    for stage in Stage::all() {
+        let values: Vec<String> = lengths
+            .iter()
+            .map(|&n| {
+                let ops = ops_count::model_ops(&model, n)
+                    .into_iter()
+                    .find(|s| s.stage == stage)
+                    .map(|s| s.ops)
+                    .unwrap_or(0);
+                fmt(ops as f64 / 1e8, 1)
+            })
+            .collect();
+        print_row(stage.label(), &values);
+    }
+    println!();
+    for &n in &lengths {
+        println!(
+            "N={n:<5} static-weight share of operations: {:.1}%",
+            100.0 * ops_count::static_weight_fraction(&model, n)
+        );
+    }
+}

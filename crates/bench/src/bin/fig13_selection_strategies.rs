@@ -1,0 +1,68 @@
+//! Figure 13: gradient-based vs rank-based vs magnitude-based SLC selection.
+
+use hyflex_bench::{fmt, print_row, run_functional_experiment};
+use hyflex_pim::noise_sim::{HybridMappingSpec, NoiseSimulator};
+use hyflex_pim::selection::SelectionStrategy;
+use hyflex_rram::cell::CellMode;
+use hyflex_transformer::ModelConfig;
+use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
+
+const RATES: [f64; 6] = [0.0, 0.05, 0.10, 0.30, 0.40, 0.50];
+
+fn main() {
+    println!("Figure 13 — SLC selection strategy comparison (tiny encoder)");
+    for (task, seed) in [(GlueTask::Mrpc, 31u64), (GlueTask::Cola, 32u64)] {
+        let dataset = glue::generate(task, &GlueConfig::default(), seed);
+        let experiment =
+            run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 4, 2, seed)
+                .expect("experiment");
+        let simulator = NoiseSimulator::paper_default();
+        println!("\nTask: {} (metric: accuracy)", task.name());
+        print_row(
+            "Strategy",
+            &RATES
+                .iter()
+                .map(|r| format!("{}%", (r * 100.0) as u32))
+                .collect::<Vec<_>>(),
+        );
+        let mut means: Vec<(SelectionStrategy, f64)> = Vec::new();
+        for strategy in SelectionStrategy::all() {
+            let mut row = Vec::new();
+            let mut sum = 0.0;
+            for &rate in &RATES {
+                let mean = (0..3)
+                    .map(|s| {
+                        let spec = HybridMappingSpec {
+                            protection_rate: rate,
+                            strategy,
+                            mlc_mode: CellMode::MLC2,
+                            quantize_int8: true,
+                        };
+                        simulator
+                            .evaluate(
+                                &experiment.model,
+                                &experiment.report.layer_profiles,
+                                &spec,
+                                &experiment.dataset.eval,
+                                seed * 1000 + s,
+                            )
+                            .expect("noise evaluation")
+                            .0
+                            .metrics
+                            .primary_value()
+                    })
+                    .sum::<f64>()
+                    / 3.0;
+                sum += mean;
+                row.push(fmt(mean, 3));
+            }
+            means.push((strategy, sum / RATES.len() as f64));
+            print_row(strategy.label(), &row);
+        }
+        let best = means
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!("best average strategy: {}", best.0.label());
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 14: normalized linear-layer energy versus the baselines, across
+//! sequence lengths and SLC protection rates.
+
+use hyflex_baselines::{all_accelerators, Accelerator, NonPim};
+use hyflex_bench::{fmt, print_row};
+use hyflex_transformer::ModelConfig;
+
+fn main() {
+    let model = ModelConfig::bert_large();
+    let lengths = [128usize, 512, 1024, 2048, 4096, 8192];
+    let slc_rates = [0.05, 0.10, 0.30, 0.40, 0.50];
+    println!("Figure 14 — linear-layer energy, normalized to the non-PIM baseline (%)");
+    println!("Model: {} (lower is better)", model.name);
+
+    for &n in &lengths {
+        println!("\nSequence length N = {n}");
+        let reference = NonPim::new()
+            .linear_layer_energy_pj(&model, n)
+            .expect("baseline energy");
+        print_row("Accelerator", &[format!("{:>12}", "norm. energy")]);
+        for &rate in &slc_rates {
+            let hyflex = &all_accelerators(rate)[0];
+            let e = hyflex.linear_layer_energy_pj(&model, n).expect("energy");
+            print_row(
+                &format!("HyFlexPIM {}% SLC", (rate * 100.0) as u32),
+                &[fmt(100.0 * e / reference, 1)],
+            );
+        }
+        for accelerator in all_accelerators(0.05).into_iter().skip(1) {
+            let e = accelerator
+                .linear_layer_energy_pj(&model, n)
+                .expect("energy");
+            print_row(accelerator.name(), &[fmt(100.0 * e / reference, 1)]);
+        }
+    }
+}

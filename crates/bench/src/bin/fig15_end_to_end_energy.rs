@@ -1,0 +1,81 @@
+//! Figure 15: end-to-end energy comparison and HyFlexPIM component breakdown.
+
+use hyflex_baselines::{all_accelerators, Accelerator, HyFlexPimAccelerator};
+use hyflex_bench::{fmt, print_row};
+use hyflex_transformer::ModelConfig;
+
+fn comparison(model: &ModelConfig, slc_rate: f64) {
+    let lengths = [128usize, 512, 1024];
+    println!(
+        "\nEnd-to-end energy for {} (HyFlexPIM at {}% SLC), normalized to HyFlexPIM = 1.0",
+        model.name,
+        (slc_rate * 100.0) as u32
+    );
+    print_row(
+        "Accelerator",
+        &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
+    );
+    let hyflex = HyFlexPimAccelerator::new(slc_rate);
+    let reference: Vec<f64> = lengths
+        .iter()
+        .map(|&n| hyflex.end_to_end_energy(model, n).expect("energy").total_pj())
+        .collect();
+    for accelerator in all_accelerators(slc_rate) {
+        let values: Vec<String> = lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let e = accelerator.end_to_end_energy(model, n).expect("energy");
+                fmt(e.total_pj() / reference[i], 2)
+            })
+            .collect();
+        print_row(accelerator.name(), &values);
+    }
+}
+
+fn breakdown(model: &ModelConfig, slc_rate: f64) {
+    println!(
+        "\nHyFlexPIM component breakdown for {} at {}% SLC (% of total energy)",
+        model.name,
+        (slc_rate * 100.0) as u32
+    );
+    let lengths = [128usize, 512, 1024];
+    let hyflex = HyFlexPimAccelerator::new(slc_rate);
+    print_row(
+        "Component",
+        &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
+    );
+    let breakdowns: Vec<_> = lengths
+        .iter()
+        .map(|&n| hyflex.end_to_end_energy(model, n).expect("energy"))
+        .collect();
+    let component_names: Vec<&'static str> =
+        breakdowns[0].components().iter().map(|(n, _)| *n).collect();
+    for name in component_names {
+        let values: Vec<String> = breakdowns
+            .iter()
+            .map(|b| {
+                let share = b
+                    .shares()
+                    .into_iter()
+                    .find(|(n, _)| *n == name)
+                    .map(|(_, s)| s)
+                    .unwrap_or(0.0);
+                fmt(100.0 * share, 1)
+            })
+            .collect();
+        print_row(name, &values);
+    }
+}
+
+fn main() {
+    println!("Figure 15 — end-to-end energy comparison and breakdown");
+    // (a, b): BERT-Large at 5% SLC.
+    let bert = ModelConfig::bert_large();
+    comparison(&bert, 0.05);
+    breakdown(&bert, 0.05);
+    // (c, d): GPT-2 at 30% SLC.
+    let gpt2 = ModelConfig::gpt2_small();
+    comparison(&gpt2, 0.30);
+    breakdown(&gpt2, 0.30);
+}

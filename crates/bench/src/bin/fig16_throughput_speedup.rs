@@ -1,0 +1,48 @@
+//! Figure 16: throughput (TOPS/mm²) speedup over ASADI† and SPRINT.
+
+use hyflex_baselines::{Accelerator, Asadi, AsadiPrecision, HyFlexPimAccelerator, Sprint};
+use hyflex_bench::{fmt, print_row};
+use hyflex_transformer::ModelConfig;
+
+fn sweep(title: &str, model: &ModelConfig) {
+    let lengths = [128usize, 512, 1024, 2048, 4096, 8192];
+    let slc_rates = [0.05, 0.10, 0.30, 0.40, 0.50];
+    let asadi = Asadi::new(AsadiPrecision::Int8);
+    let sprint = Sprint::new();
+    println!("\n{title}: normalized TOPS/mm^2 of HyFlexPIM vs ASADI\u{2020} and SPRINT");
+    print_row(
+        "SLC rate / N",
+        &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
+    );
+    for &rate in &slc_rates {
+        let hyflex = HyFlexPimAccelerator::new(rate);
+        let vs_asadi: Vec<String> = lengths
+            .iter()
+            .map(|&n| {
+                let ours = hyflex.tops_per_mm2(model, n).expect("tops");
+                let theirs = asadi.tops_per_mm2(model, n).expect("tops");
+                fmt(ours / theirs, 2)
+            })
+            .collect();
+        print_row(&format!("{}% SLC vs ASADI\u{2020}", (rate * 100.0) as u32), &vs_asadi);
+    }
+    for &rate in &slc_rates {
+        let hyflex = HyFlexPimAccelerator::new(rate);
+        let vs_sprint: Vec<String> = lengths
+            .iter()
+            .map(|&n| {
+                let ours = hyflex.tops_per_mm2(model, n).expect("tops");
+                let theirs = sprint.tops_per_mm2(model, n).expect("tops");
+                fmt(ours / theirs, 1)
+            })
+            .collect();
+        print_row(&format!("{}% SLC vs SPRINT", (rate * 100.0) as u32), &vs_sprint);
+    }
+}
+
+fn main() {
+    println!("Figure 16 — throughput speedup (TOPS/mm^2)");
+    // (a) GLUE proxy: BERT-Large; (b) WikiText-2 proxy: GPT-2.
+    sweep("(a) GLUE / BERT-Large", &ModelConfig::bert_large());
+    sweep("(b) WikiText-2 / GPT-2", &ModelConfig::gpt2_small());
+}

@@ -1,0 +1,47 @@
+//! Figure 17: memory requirements and throughput scalability at N = 8192.
+
+use hyflex_bench::{fmt, print_row};
+use hyflex_pim::scalability::ScalabilityModel;
+use hyflex_transformer::ModelConfig;
+
+fn main() {
+    let model = ScalabilityModel::paper_default();
+    println!("Figure 17 — memory requirements and throughput scalability (N = 8192)");
+
+    print_row(
+        "Model",
+        &[
+            "Analog (GB)".to_string(),
+            "Digital (GB)".to_string(),
+            "Total (GB)".to_string(),
+        ],
+    );
+    for config in [ModelConfig::gpt2_small(), ModelConfig::llama3_1b()] {
+        let req = model
+            .memory_requirement(&config, 8192)
+            .expect("memory requirement");
+        print_row(
+            &config.name,
+            &[
+                fmt(req.analog_bytes / 1e9, 2),
+                fmt(req.digital_bytes / 1e9, 2),
+                fmt(req.total_gb(), 2),
+            ],
+        );
+    }
+
+    println!("\nThroughput scaling (normalized):");
+    print_row(
+        "Configuration",
+        &["achieved".to_string(), "ideal".to_string()],
+    );
+    for point in model.figure17().expect("figure 17 sweep") {
+        print_row(
+            &point.label,
+            &[
+                fmt(point.normalized_throughput, 2),
+                fmt(point.ideal_throughput, 2),
+            ],
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Table 1: fine-tuning hyper-parameters.
+
+use hyflex_bench::print_row;
+use hyflex_pim::finetune::HyperParams;
+
+fn main() {
+    println!("Table 1 — fine-tuning hyper-parameters");
+    print_row(
+        "Model",
+        &[
+            "Batch".to_string(),
+            "LR".to_string(),
+            "Optimizer".to_string(),
+        ],
+    );
+    for row in HyperParams::table1() {
+        print_row(
+            row.model,
+            &[
+                row.batch_size.to_string(),
+                format!("{:.0e}", row.learning_rate),
+                row.optimizer.to_string(),
+            ],
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 2: hardware configuration and component-level area/power.
+
+use hyflex_bench::{fmt, print_row};
+use hyflex_circuits::Table2;
+
+fn main() {
+    let table = Table2::paper_65nm();
+    for module in [&table.analog, &table.digital] {
+        println!("{} (65 nm)", module.name);
+        print_row(
+            "Component",
+            &[
+                "Area (mm^2)".to_string(),
+                "Power (mW)".to_string(),
+                "Count".to_string(),
+            ],
+        );
+        for c in &module.components {
+            print_row(
+                c.name,
+                &[
+                    fmt(c.area_mm2, 4),
+                    fmt(c.power_mw, 2),
+                    c.count.to_string(),
+                ],
+            );
+        }
+        print_row(
+            "Sum (per module)",
+            &[
+                fmt(module.module_area_mm2(), 3),
+                fmt(module.module_power_mw(), 2),
+                String::new(),
+            ],
+        );
+        print_row(
+            "Total",
+            &[
+                fmt(module.chip_area_mm2(), 2),
+                fmt(module.chip_power_mw(), 2),
+                module.modules_per_chip.to_string(),
+            ],
+        );
+        println!();
+    }
+    println!(
+        "Chip totals: {:.2} mm^2, {:.2} W",
+        table.chip_area_mm2(),
+        table.chip_power_mw() / 1000.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Error types for the circuit models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the peripheral circuit models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A configuration parameter was outside its supported range.
+    InvalidConfig(String),
+    /// An input signal was outside the representable range of a block.
+    OutOfRange {
+        /// Name of the block that rejected the value.
+        block: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Allowed maximum.
+        max: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CircuitError::OutOfRange { block, value, max } => {
+                write!(f, "{block} input {value} exceeds full scale {max}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CircuitError::OutOfRange {
+            block: "sar-adc",
+            value: 2.0,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("sar-adc"));
+        let e = CircuitError::InvalidConfig("bits".to_string());
+        assert!(e.to_string().contains("bits"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! Technology-node scaling helpers (Stillmaker & Baas style).
+//!
+//! The paper compares against accelerators published at different technology
+//! nodes and scales every number to 65 nm using the equations of Stillmaker &
+//! Baas. This module provides the same capability: first-order scaling of
+//! area, delay, and energy between planar CMOS nodes, using the classical
+//! relations (area ∝ L², delay ∝ L, energy ∝ C·V² ∝ L·V²) with a table of
+//! nominal supply voltages per node.
+
+use crate::error::CircuitError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Quantity being scaled between technology nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quantity {
+    /// Silicon area.
+    Area,
+    /// Gate/wire delay.
+    Delay,
+    /// Dynamic energy.
+    Energy,
+}
+
+/// Nominal supply voltage for a planar CMOS node, in volts.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidConfig`] for unsupported nodes.
+pub fn nominal_vdd(node_nm: u32) -> Result<f64> {
+    let vdd = match node_nm {
+        180 => 1.8,
+        130 => 1.3,
+        90 => 1.2,
+        65 => 1.1,
+        45 => 1.0,
+        32 => 0.9,
+        22 => 0.8,
+        16 | 14 => 0.7,
+        7 => 0.65,
+        _ => {
+            return Err(CircuitError::InvalidConfig(format!(
+                "unsupported technology node {node_nm} nm"
+            )))
+        }
+    };
+    Ok(vdd)
+}
+
+/// Scaling factor to convert a value measured at `from_nm` into an equivalent
+/// value at `to_nm` (multiply by the returned factor).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidConfig`] for unsupported nodes.
+pub fn scaling_factor(quantity: Quantity, from_nm: u32, to_nm: u32) -> Result<f64> {
+    let v_from = nominal_vdd(from_nm)?;
+    let v_to = nominal_vdd(to_nm)?;
+    let l = f64::from(to_nm) / f64::from(from_nm);
+    Ok(match quantity {
+        Quantity::Area => l * l,
+        Quantity::Delay => l,
+        Quantity::Energy => l * (v_to / v_from).powi(2),
+    })
+}
+
+/// Scales `value` from one node to another.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::InvalidConfig`] for unsupported nodes.
+pub fn scale(value: f64, quantity: Quantity, from_nm: u32, to_nm: u32) -> Result<f64> {
+    Ok(value * scaling_factor(quantity, from_nm, to_nm)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling_is_one() {
+        for q in [Quantity::Area, Quantity::Delay, Quantity::Energy] {
+            assert!((scaling_factor(q, 65, 65).unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shrinking_reduces_everything() {
+        for q in [Quantity::Area, Quantity::Delay, Quantity::Energy] {
+            let f = scaling_factor(q, 65, 22).unwrap();
+            assert!(f < 1.0, "{q:?} factor {f}");
+        }
+        // Growing a 22 nm design to 65 nm increases cost.
+        assert!(scale(1.0, Quantity::Area, 22, 65).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn area_scales_quadratically_and_delay_linearly() {
+        let area = scaling_factor(Quantity::Area, 65, 32).unwrap();
+        let delay = scaling_factor(Quantity::Delay, 65, 32).unwrap();
+        assert!((area - (32.0f64 / 65.0).powi(2)).abs() < 1e-12);
+        assert!((delay - 32.0 / 65.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_accounts_for_voltage() {
+        let e = scaling_factor(Quantity::Energy, 65, 7).unwrap();
+        let pure_l = 7.0 / 65.0;
+        assert!(e < pure_l, "voltage scaling should further reduce energy");
+    }
+
+    #[test]
+    fn unsupported_nodes_are_rejected() {
+        assert!(nominal_vdd(3).is_err());
+        assert!(scaling_factor(Quantity::Area, 65, 5).is_err());
+        assert!(scale(1.0, Quantity::Delay, 10, 65).is_err());
+    }
+
+    #[test]
+    fn round_trip_scaling_is_consistent() {
+        let x = 123.4;
+        let there = scale(x, Quantity::Energy, 65, 16).unwrap();
+        let back = scale(there, Quantity::Energy, 16, 65).unwrap();
+        assert!((back - x).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the HyFlexPIM accelerator model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the HyFlexPIM architecture and algorithm models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PimError {
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+    /// A requested mapping does not fit the hardware resources.
+    CapacityExceeded(String),
+    /// An error bubbled up from the transformer substrate.
+    Model(hyflex_transformer::ModelError),
+    /// An error bubbled up from the RRAM substrate.
+    Rram(hyflex_rram::RramError),
+    /// An error bubbled up from the circuit models.
+    Circuit(hyflex_circuits::CircuitError),
+    /// An error bubbled up from the tensor substrate.
+    Tensor(hyflex_tensor::TensorError),
+}
+
+impl fmt::Display for PimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PimError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
+            PimError::Model(e) => write!(f, "model error: {e}"),
+            PimError::Rram(e) => write!(f, "rram error: {e}"),
+            PimError::Circuit(e) => write!(f, "circuit error: {e}"),
+            PimError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for PimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PimError::Model(e) => Some(e),
+            PimError::Rram(e) => Some(e),
+            PimError::Circuit(e) => Some(e),
+            PimError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyflex_transformer::ModelError> for PimError {
+    fn from(e: hyflex_transformer::ModelError) -> Self {
+        PimError::Model(e)
+    }
+}
+
+impl From<hyflex_rram::RramError> for PimError {
+    fn from(e: hyflex_rram::RramError) -> Self {
+        PimError::Rram(e)
+    }
+}
+
+impl From<hyflex_circuits::CircuitError> for PimError {
+    fn from(e: hyflex_circuits::CircuitError) -> Self {
+        PimError::Circuit(e)
+    }
+}
+
+impl From<hyflex_tensor::TensorError> for PimError {
+    fn from(e: hyflex_tensor::TensorError) -> Self {
+        PimError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: PimError = hyflex_tensor::TensorError::InvalidArgument("x".into()).into();
+        assert!(Error::source(&e).is_some());
+        let e: PimError = hyflex_rram::RramError::InvalidConfig("y".into()).into();
+        assert!(e.to_string().contains("rram"));
+        let e = PimError::CapacityExceeded("too many layers".into());
+        assert!(e.to_string().contains("too many layers"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PimError>();
+    }
+}

@@ -1,0 +1,443 @@
+//! Analytical performance model: energy, latency, throughput, and area.
+//!
+//! This is the model behind Figures 14–16. It combines:
+//!
+//! * the per-layer crossbar mapping ([`crate::mapping`]) — how many arrays,
+//!   read cycles, and ADC conversions a layer needs in SLC versus MLC;
+//! * the per-event energies derived from Table 2
+//!   (`hyflex-circuits::EnergyModel`);
+//! * the operation counts of `hyflex-transformer::ops_count` for the dynamic
+//!   attention products handled by digital PIM and the SFU.
+//!
+//! Absolute joules are a function of the published 65 nm constants; the
+//! quantities the reproduction is judged on are the *relative* numbers: how
+//! the hybrid SLC/MLC mapping compares to an all-SLC mapping (ASADI), to a
+//! digital-processor design (SPRINT), and to near-memory or non-PIM
+//! baselines, across sequence lengths and protection rates.
+
+use crate::arch::Chip;
+use crate::config::{
+    HyFlexPimConfig, ANALOG_READ_CYCLE_NS, DIGITAL_CYCLE_NS, GLOBAL_BUS_BYTES_PER_S,
+    ON_CHIP_INTERCONNECT_BYTES_PER_S,
+};
+use crate::energy_breakdown::EnergyBreakdown;
+use crate::mapping::{self, LayerMapping};
+use crate::Result;
+use hyflex_circuits::sfu::SFU_INPUTS_PER_CYCLE;
+use hyflex_circuits::{EnergyModel, Table2};
+use hyflex_rram::digital::DigitalPimModule;
+use hyflex_transformer::config::ModelConfig;
+use hyflex_transformer::ops_count;
+use serde::{Deserialize, Serialize};
+
+/// Default number of inferences over which the one-time analog weight
+/// programming cost is amortized (static weights are written once and reused;
+/// Section 5.2 argues for ≥10 k daily requests).
+pub const DEFAULT_WEIGHT_REUSE_INFERENCES: u64 = 10_000;
+
+/// One design/workload point to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationPoint {
+    /// Model architecture (paper-scale dimensions).
+    pub model: ModelConfig,
+    /// Sequence length `N`.
+    pub seq_len: usize,
+    /// Fraction of factored ranks protected in SLC.
+    pub slc_rank_fraction: f64,
+}
+
+/// Latency split of one inference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Time spent in analog crossbar reads (per pipeline stage, summed).
+    pub analog_ns: f64,
+    /// Time spent in digital PIM attention products.
+    pub digital_ns: f64,
+    /// Time spent in the SFU.
+    pub sfu_ns: f64,
+    /// Time spent moving data between modules/PUs/chips.
+    pub interconnect_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.analog_ns + self.digital_ns + self.sfu_ns + self.interconnect_ns
+    }
+}
+
+/// Full evaluation result for one point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSummary {
+    /// Energy per inference, by component.
+    pub energy: EnergyBreakdown,
+    /// Latency per inference.
+    pub latency: LatencyBreakdown,
+    /// Total scalar operations per inference (MAC counted as two ops).
+    pub total_ops: u64,
+    /// Throughput in tera-operations per second.
+    pub throughput_tops: f64,
+    /// Chip area in mm² (Table 2).
+    pub area_mm2: f64,
+    /// Area efficiency in TOPS/mm².
+    pub tops_per_mm2: f64,
+    /// Number of chips required to hold the model.
+    pub chips: usize,
+}
+
+impl PerfSummary {
+    /// Energy efficiency in tera-operations per joule.
+    pub fn tops_per_joule(&self) -> f64 {
+        let joules = self.energy.total_pj() * 1e-12;
+        if joules == 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / joules / 1e12
+        }
+    }
+}
+
+/// The HyFlexPIM analytical performance model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PerformanceModel {
+    hw: HyFlexPimConfig,
+    energy: EnergyModel,
+    table2: Table2,
+    /// Inferences over which analog weight programming is amortized.
+    pub weight_reuse_inferences: u64,
+}
+
+impl PerformanceModel {
+    /// Builds a model from a hardware configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors.
+    pub fn new(hw: HyFlexPimConfig) -> Result<Self> {
+        hw.validate()?;
+        Ok(PerformanceModel {
+            hw,
+            energy: EnergyModel::default(),
+            table2: Table2::paper_65nm(),
+            weight_reuse_inferences: DEFAULT_WEIGHT_REUSE_INFERENCES,
+        })
+    }
+
+    /// The paper's configuration.
+    pub fn paper_default() -> Self {
+        PerformanceModel::new(HyFlexPimConfig::paper_default()).expect("paper config is valid")
+    }
+
+    /// The hardware configuration.
+    pub fn hw(&self) -> &HyFlexPimConfig {
+        &self.hw
+    }
+
+    /// The per-event energy constants.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Chip area from Table 2, mm².
+    pub fn chip_area_mm2(&self) -> f64 {
+        self.table2.chip_area_mm2()
+    }
+
+    /// Per-block crossbar mappings at the given SLC fraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors.
+    pub fn block_mapping(&self, point: &EvaluationPoint) -> Result<Vec<LayerMapping>> {
+        mapping::map_block(&point.model, &self.hw, point.slc_rank_fraction, &self.energy)
+    }
+
+    /// Energy of the static-weight linear layers only (Figure 14), pJ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors.
+    pub fn linear_layer_energy_pj(&self, point: &EvaluationPoint) -> Result<f64> {
+        Ok(self.evaluate(point)?.energy.linear_layer_pj())
+    }
+
+    /// Evaluates energy, latency, throughput, and area efficiency for one
+    /// model / sequence-length / SLC-rate point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors and invalid configurations.
+    pub fn evaluate(&self, point: &EvaluationPoint) -> Result<PerfSummary> {
+        let model = &point.model;
+        let n = point.seq_len as f64;
+        let layers = model.num_layers as f64;
+        let input_bits = f64::from(self.hw.input_bits);
+        let block = self.block_mapping(point)?;
+        let chip = Chip::new(self.hw)?;
+
+        let mut energy = EnergyBreakdown::default();
+
+        // ---- Analog PIM: static-weight linear layers -------------------
+        // Per token and per input bit, every occupied array performs one read
+        // cycle; the shared ADC digitizes its 128 bit lines (6-b for SLC
+        // arrays, 7-b for MLC arrays — one extra bit doubles conversion
+        // energy, but MLC halves the number of occupied arrays).
+        let slc_cycles_per_bit: f64 = block.iter().map(|m| m.slc.read_cycles_per_input_bit as f64).sum();
+        let mlc_cycles_per_bit: f64 = block.iter().map(|m| m.mlc.read_cycles_per_input_bit as f64).sum();
+        let tokens_bits = n * input_bits * layers;
+        let slc_cycles = slc_cycles_per_bit * tokens_bits;
+        let mlc_cycles = mlc_cycles_per_bit * tokens_bits;
+        let total_cycles = slc_cycles + mlc_cycles;
+        let bit_lines = self.hw.analog_array_cols as f64;
+
+        energy.analog_rram_read_pj = total_cycles * self.energy.analog_array_read_cycle_pj;
+        energy.analog_wldrv_pj = total_cycles * self.energy.analog_wldrv_cycle_pj;
+        energy.linear_adc_pj = bit_lines
+            * (slc_cycles * self.energy.adc_conversion_pj
+                + mlc_cycles * 2.0 * self.energy.adc_conversion_pj);
+        energy.sh_sa_pj =
+            total_cycles * bit_lines * (self.energy.sample_hold_pj + self.energy.shift_add_op_pj);
+
+        // One-time weight programming, amortized.
+        let write_per_block: f64 = block.iter().map(|m| m.write_energy_pj).sum();
+        energy.analog_rram_write_pj =
+            write_per_block * layers / self.weight_reuse_inferences as f64;
+
+        // ---- Digital PIM: attention score/context products --------------
+        let stage_ops = ops_count::model_ops(model, point.seq_len);
+        let attention_macs: f64 = stage_ops
+            .iter()
+            .filter(|s| matches!(s.stage, ops_count::Stage::ScoreQKt | ops_count::Stage::ProbV))
+            .map(|s| s.ops as f64)
+            .sum();
+        let digital_module = DigitalPimModule::paper_default();
+        // Energy per in-memory INT8 MAC: one multiplication needs 64 NOR row
+        // operations, each occupying 3 of the 1024 array columns for 5 cycles;
+        // scale the per-array-cycle energies by that column-time share.
+        let columns = self.hw.digital_array_cols as f64;
+        let column_cycles_per_mac =
+            digital_module.nor_ops_per_mul() as f64 * 3.0 * 5.0 / columns;
+        let array_mac_pj = self.energy.digital_array_cycle_pj * column_cycles_per_mac;
+        let wldrv_mac_pj = self.energy.digital_wldrv_cycle_pj * column_cycles_per_mac;
+        energy.attention_dot_product_pj = attention_macs * array_mac_pj;
+        energy.digital_wldrv_pj = attention_macs * wldrv_mac_pj;
+
+        // Dynamically generated data written into digital PIM (Q, K, V,
+        // scores, FFN intermediate), INT8 SLC: one cell write per bit.
+        let digital_write_cells = chip.digital_cells_for_layer(model, point.seq_len) as f64 * layers;
+        energy.digital_rram_write_pj = digital_write_cells * self.energy.slc_cell_write_pj;
+
+        // ---- SFU: softmax, layer norm, GELU ------------------------------
+        let softmax_elems: f64 = stage_ops
+            .iter()
+            .filter(|s| matches!(s.stage, ops_count::Stage::Softmax))
+            .map(|s| s.ops as f64)
+            .sum();
+        let layernorm_elems = 2.0 * n * model.hidden_dim as f64 * layers;
+        let gelu_elems = n * model.ffn_dim as f64 * layers;
+        let sfu_elems = softmax_elems + layernorm_elems + gelu_elems;
+        energy.sfu_pj = sfu_elems * self.energy.sfu_element_pj;
+
+        // ---- Registers and interconnect ----------------------------------
+        let activation_bytes_per_layer = n * model.hidden_dim as f64;
+        energy.sram_access_pj =
+            activation_bytes_per_layer * layers * 4.0 * self.energy.sram_register_byte_pj;
+        energy.interconnect_pj =
+            activation_bytes_per_layer * layers * self.energy.inner_bus_byte_pj;
+
+        // ---- Latency ------------------------------------------------------
+        // Arrays of a layer operate concurrently; if the layer needs more
+        // arrays than one PU owns, the work is serialized into passes.
+        let arrays_per_pu =
+            (self.hw.analog_modules_per_pu * self.hw.analog_arrays_per_module) as f64;
+        let arrays_per_block: f64 = block.iter().map(|m| m.total_arrays() as f64).sum();
+        let passes = (arrays_per_block / arrays_per_pu).ceil().max(1.0);
+        // Two dependent factored stages (x·U then ·ΣVᵀ) per linear layer.
+        let analog_stage_ns = n * input_bits * ANALOG_READ_CYCLE_NS * passes * 2.0;
+
+        let digital_macs_per_layer = attention_macs / layers;
+        let module_rate =
+            digital_module.parallel_muls_per_cycle() as f64 * self.hw.digital_modules_per_pu as f64;
+        let digital_stage_ns = digital_macs_per_layer / module_rate * DIGITAL_CYCLE_NS;
+        let sfu_stage_ns = sfu_elems / layers / SFU_INPUTS_PER_CYCLE as f64 * DIGITAL_CYCLE_NS;
+
+        let inter_pu_bytes = activation_bytes_per_layer;
+        let interconnect_stage_ns = inter_pu_bytes / ON_CHIP_INTERCONNECT_BYTES_PER_S * 1e9;
+        let chips = chip.chips_for_model(model, point.seq_len, point.slc_rank_fraction);
+        let chip_hop_ns = if chips > 1 {
+            model.hidden_dim as f64 / GLOBAL_BUS_BYTES_PER_S * 1e9 * (chips - 1) as f64
+        } else {
+            0.0
+        };
+
+        // Layer pipeline: PUs process consecutive layers in a pipelined
+        // fashion, so the per-layer stage times overlap across the sequence;
+        // the fill/drain overhead scales with layers/N.
+        let pipeline_factor = 1.0 + (layers - 1.0) / (n.max(1.0));
+        let latency = LatencyBreakdown {
+            analog_ns: analog_stage_ns * pipeline_factor,
+            digital_ns: digital_stage_ns * pipeline_factor,
+            sfu_ns: sfu_stage_ns * pipeline_factor,
+            interconnect_ns: interconnect_stage_ns * layers + chip_hop_ns,
+        };
+
+        // ---- Throughput and area -----------------------------------------
+        let total_ops = ops_count::total_ops(model, point.seq_len) * 2;
+        let latency_s = latency.total_ns() * 1e-9;
+        let throughput_tops = if latency_s > 0.0 {
+            total_ops as f64 / latency_s / 1e12
+        } else {
+            0.0
+        };
+        let area_mm2 = self.chip_area_mm2() * chips as f64;
+        let tops_per_mm2 = if area_mm2 > 0.0 {
+            throughput_tops / area_mm2
+        } else {
+            0.0
+        };
+
+        Ok(PerfSummary {
+            energy,
+            latency,
+            total_ops,
+            throughput_tops,
+            area_mm2,
+            tops_per_mm2,
+            chips,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(model: ModelConfig, seq_len: usize, slc: f64) -> EvaluationPoint {
+        EvaluationPoint {
+            model,
+            seq_len,
+            slc_rank_fraction: slc,
+        }
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        let mut bad = HyFlexPimConfig::paper_default();
+        bad.pus_per_chip = 0;
+        assert!(PerformanceModel::new(bad).is_err());
+        assert!(PerformanceModel::new(HyFlexPimConfig::paper_default()).is_ok());
+    }
+
+    #[test]
+    fn mlc_heavy_mapping_saves_linear_layer_energy() {
+        let model = PerformanceModel::paper_default();
+        let slc_only = model
+            .linear_layer_energy_pj(&point(ModelConfig::bert_large(), 128, 1.0))
+            .unwrap();
+        let hybrid_5 = model
+            .linear_layer_energy_pj(&point(ModelConfig::bert_large(), 128, 0.05))
+            .unwrap();
+        let hybrid_50 = model
+            .linear_layer_energy_pj(&point(ModelConfig::bert_large(), 128, 0.5))
+            .unwrap();
+        assert!(hybrid_5 < hybrid_50);
+        assert!(hybrid_50 < slc_only);
+        // The paper reports up to ~1.24x linear-layer energy gain vs an
+        // all-SLC (ASADI-style) mapping; our model should land in a
+        // comparable band (at least 1.1x, at most ~2x).
+        let gain = slc_only / hybrid_5;
+        assert!(gain > 1.1 && gain < 2.2, "gain {gain:.2}");
+    }
+
+    #[test]
+    fn mlc_heavy_mapping_improves_area_efficiency() {
+        let model = PerformanceModel::paper_default();
+        let slc_only = model
+            .evaluate(&point(ModelConfig::bert_large(), 1024, 1.0))
+            .unwrap();
+        let hybrid = model
+            .evaluate(&point(ModelConfig::bert_large(), 1024, 0.05))
+            .unwrap();
+        assert!(hybrid.tops_per_mm2 >= slc_only.tops_per_mm2);
+        let speedup = hybrid.tops_per_mm2 / slc_only.tops_per_mm2;
+        assert!(
+            speedup >= 1.0 && speedup < 2.5,
+            "speedup {speedup:.2} out of expected band"
+        );
+    }
+
+    #[test]
+    fn energy_grows_with_sequence_length_and_model_size() {
+        let model = PerformanceModel::paper_default();
+        let short = model
+            .evaluate(&point(ModelConfig::bert_large(), 128, 0.1))
+            .unwrap();
+        let long = model
+            .evaluate(&point(ModelConfig::bert_large(), 1024, 0.1))
+            .unwrap();
+        assert!(long.energy.total_pj() > short.energy.total_pj());
+        assert!(long.latency.total_ns() > short.latency.total_ns());
+
+        let base = model
+            .evaluate(&point(ModelConfig::bert_base(), 128, 0.1))
+            .unwrap();
+        assert!(short.energy.total_pj() > base.energy.total_pj());
+    }
+
+    #[test]
+    fn attention_share_grows_with_sequence_length() {
+        let model = PerformanceModel::paper_default();
+        let short = model
+            .evaluate(&point(ModelConfig::bert_large(), 128, 0.1))
+            .unwrap();
+        let long = model
+            .evaluate(&point(ModelConfig::bert_large(), 4096, 0.1))
+            .unwrap();
+        let share = |s: &PerfSummary| {
+            (s.energy.attention_dot_product_pj + s.energy.digital_wldrv_pj) / s.energy.total_pj()
+        };
+        assert!(share(&long) > share(&short));
+    }
+
+    #[test]
+    fn summary_reports_sane_magnitudes() {
+        let model = PerformanceModel::paper_default();
+        let s = model
+            .evaluate(&point(ModelConfig::bert_large(), 128, 0.05))
+            .unwrap();
+        // Energy for one BERT-Large inference on a 65 nm PIM should be in the
+        // 0.1 mJ .. 1 J band.
+        let mj = s.energy.total_mj();
+        assert!(mj > 0.1 && mj < 1000.0, "energy {mj} mJ");
+        // Latency between 1 µs and 1 s.
+        let us = s.latency.total_ns() / 1e3;
+        assert!(us > 1.0 && us < 1e6, "latency {us} µs");
+        assert!(s.throughput_tops > 0.01 && s.throughput_tops < 10_000.0);
+        assert!(s.area_mm2 > 50.0);
+        assert!(s.tops_per_mm2 > 0.0);
+        assert!(s.tops_per_joule() > 0.0);
+        assert_eq!(s.chips, 1);
+    }
+
+    #[test]
+    fn llama3_requires_multiple_chips_and_more_area() {
+        let model = PerformanceModel::paper_default();
+        let s = model
+            .evaluate(&point(ModelConfig::llama3_1b(), 8192, 0.2))
+            .unwrap();
+        assert!(s.chips >= 2);
+        assert!(s.area_mm2 > model.chip_area_mm2() * 1.5);
+    }
+
+    #[test]
+    fn adc_is_a_leading_linear_layer_energy_component() {
+        // Table 2: the ADC dominates analog-module power; the per-inference
+        // breakdown should reflect that within the linear-layer portion.
+        let model = PerformanceModel::paper_default();
+        let s = model
+            .evaluate(&point(ModelConfig::bert_large(), 128, 0.05))
+            .unwrap();
+        let linear = s.energy.linear_layer_pj();
+        assert!(s.energy.linear_adc_pj / linear > 0.3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the RRAM substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by RRAM device, crossbar, and mapping models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RramError {
+    /// A value could not be programmed because it exceeds the cell's level count.
+    LevelOutOfRange {
+        /// Requested level.
+        level: u32,
+        /// Number of representable levels.
+        levels: u32,
+    },
+    /// A crossbar index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested (row, col).
+        index: (usize, usize),
+        /// Array shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// The operand shape does not fit the crossbar or mapping.
+    ShapeMismatch(String),
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// A numerical error bubbled up from the tensor substrate.
+    Tensor(hyflex_tensor::TensorError),
+}
+
+impl fmt::Display for RramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RramError::LevelOutOfRange { level, levels } => {
+                write!(f, "level {level} out of range for a {levels}-level cell")
+            }
+            RramError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} array",
+                index.0, index.1, shape.0, shape.1
+            ),
+            RramError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            RramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RramError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for RramError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RramError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyflex_tensor::TensorError> for RramError {
+    fn from(e: hyflex_tensor::TensorError) -> Self {
+        RramError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RramError::LevelOutOfRange { level: 5, levels: 4 };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('4'));
+        let e = RramError::IndexOutOfBounds {
+            index: (70, 2),
+            shape: (64, 128),
+        };
+        assert!(e.to_string().contains("70"));
+    }
+
+    #[test]
+    fn tensor_errors_convert_and_expose_source() {
+        let tensor_err = hyflex_tensor::TensorError::InvalidArgument("x".to_string());
+        let e: RramError = tensor_err.into();
+        assert!(matches!(e, RramError::Tensor(_)));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RramError>();
+    }
+}

@@ -1,0 +1,348 @@
+//! Activation functions, normalization, and their derivatives.
+//!
+//! These are the exact floating-point reference implementations used by the
+//! functional transformer simulator. The hardware-accurate versions (Taylor
+//! series exponential, pipelined SFU) live in `hyflex-circuits::sfu` and are
+//! validated against these references.
+
+use crate::matrix::Matrix;
+
+/// Rectified linear unit.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of [`relu`].
+pub fn relu_derivative(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] (tanh approximation).
+pub fn gelu_derivative(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    let x3 = x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x3);
+    let tanh_inner = inner.tanh();
+    let sech2 = 1.0 - tanh_inner * tanh_inner;
+    0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// Numerically stable softmax over a slice.
+///
+/// Returns a vector of the same length that sums to 1 (for non-empty input).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    if sum == 0.0 {
+        // Degenerate case (all -inf): return uniform.
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Row-wise softmax over a matrix.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..m.rows() {
+        let probs = softmax(m.row(r));
+        out.row_mut(r).copy_from_slice(&probs);
+    }
+    out
+}
+
+/// Jacobian-vector product of softmax: given the softmax output `p` and an
+/// upstream gradient `grad`, returns `dL/dlogits`.
+pub fn softmax_backward(p: &[f32], grad: &[f32]) -> Vec<f32> {
+    assert_eq!(p.len(), grad.len(), "softmax_backward length mismatch");
+    let dot: f32 = p.iter().zip(grad.iter()).map(|(pi, gi)| pi * gi).sum();
+    p.iter()
+        .zip(grad.iter())
+        .map(|(pi, gi)| pi * (gi - dot))
+        .collect()
+}
+
+/// Output of a layer-normalization forward pass, retaining the statistics
+/// needed for the backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormOutput {
+    /// Normalized (and affine-transformed) output values.
+    pub output: Vec<f32>,
+    /// Pre-affine normalized values `(x - mean) / std`.
+    pub normalized: Vec<f32>,
+    /// Row mean.
+    pub mean: f32,
+    /// Row inverse standard deviation.
+    pub inv_std: f32,
+}
+
+/// Layer normalization over a single vector with affine parameters.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths do not match `x`.
+pub fn layer_norm(x: &[f32], gamma: &[f32], beta: &[f32], eps: f32) -> LayerNormOutput {
+    assert_eq!(x.len(), gamma.len(), "layer_norm gamma length mismatch");
+    assert_eq!(x.len(), beta.len(), "layer_norm beta length mismatch");
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv_std = 1.0 / (var + eps).sqrt();
+    let normalized: Vec<f32> = x.iter().map(|v| (v - mean) * inv_std).collect();
+    let output = normalized
+        .iter()
+        .zip(gamma.iter().zip(beta.iter()))
+        .map(|(n, (g, b))| n * g + b)
+        .collect();
+    LayerNormOutput {
+        output,
+        normalized,
+        mean,
+        inv_std,
+    }
+}
+
+/// Gradients produced by the layer-normalization backward pass.
+#[derive(Debug, Clone)]
+pub struct LayerNormGrads {
+    /// Gradient with respect to the input vector.
+    pub d_input: Vec<f32>,
+    /// Gradient with respect to gamma.
+    pub d_gamma: Vec<f32>,
+    /// Gradient with respect to beta.
+    pub d_beta: Vec<f32>,
+}
+
+/// Backward pass of [`layer_norm`] for a single vector.
+///
+/// # Panics
+///
+/// Panics if the gradient length does not match the forward output.
+pub fn layer_norm_backward(
+    forward: &LayerNormOutput,
+    gamma: &[f32],
+    grad_output: &[f32],
+) -> LayerNormGrads {
+    let n = forward.normalized.len();
+    assert_eq!(grad_output.len(), n, "layer_norm_backward length mismatch");
+    let d_beta = grad_output.to_vec();
+    let d_gamma: Vec<f32> = grad_output
+        .iter()
+        .zip(forward.normalized.iter())
+        .map(|(g, x)| g * x)
+        .collect();
+    // dL/dx_hat
+    let dxhat: Vec<f32> = grad_output
+        .iter()
+        .zip(gamma.iter())
+        .map(|(g, gm)| g * gm)
+        .collect();
+    let mean_dxhat = dxhat.iter().sum::<f32>() / n as f32;
+    let mean_dxhat_xhat = dxhat
+        .iter()
+        .zip(forward.normalized.iter())
+        .map(|(d, x)| d * x)
+        .sum::<f32>()
+        / n as f32;
+    let d_input = dxhat
+        .iter()
+        .zip(forward.normalized.iter())
+        .map(|(d, x)| forward.inv_std * (d - mean_dxhat - x * mean_dxhat_xhat))
+        .collect();
+    LayerNormGrads {
+        d_input,
+        d_gamma,
+        d_beta,
+    }
+}
+
+/// Cross-entropy loss between softmax probabilities and a one-hot target.
+///
+/// # Panics
+///
+/// Panics if `target >= probs.len()`.
+pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
+    assert!(target < probs.len(), "target index out of range");
+    -(probs[target].max(1e-12)).ln()
+}
+
+/// Mean squared error between a prediction and a target scalar.
+pub fn squared_error(prediction: f32, target: f32) -> f32 {
+    let d = prediction - target;
+    d * d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative<F: Fn(f32) -> f32>(f: F, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(3.0), 3.0);
+        assert_eq!(relu_derivative(-1.0), 0.0);
+        assert_eq!(relu_derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu(0.0)).abs() < 1e-6);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Large positive inputs pass through, large negative go to zero.
+        assert!((gelu(6.0) - 6.0).abs() < 1e-3);
+        assert!(gelu(-6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_derivative_matches_numeric() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 2.3] {
+            let analytic = gelu_derivative(x);
+            let numeric = numeric_derivative(gelu, x);
+            assert!(
+                (analytic - numeric).abs() < 2e-3,
+                "gelu'({x}): {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[1001.0, 1002.0, 1003.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_rows_normalizes_each_row() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0]]).unwrap();
+        let s = softmax_rows(&m);
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((s.row(1).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(s.at(1, 0) > 0.99);
+    }
+
+    #[test]
+    fn softmax_backward_matches_numeric_gradient() {
+        let logits = [0.3f32, -0.2, 0.9];
+        let target = 1usize;
+        let loss = |l: &[f32]| cross_entropy(&softmax(l), target);
+        let probs = softmax(&logits);
+        // dL/dp for cross entropy: -1/p at the target, 0 elsewhere.
+        let mut dl_dp = vec![0.0f32; 3];
+        dl_dp[target] = -1.0 / probs[target];
+        let analytic = softmax_backward(&probs, &dl_dp);
+        for i in 0..3 {
+            let mut plus = logits;
+            plus[i] += 1e-3;
+            let mut minus = logits;
+            minus[i] -= 1e-3;
+            let numeric = (loss(&plus) - loss(&minus)) / 2e-3;
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-3,
+                "dL/dlogit[{i}]: {} vs {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_has_zero_mean_unit_variance() {
+        let x = [1.0f32, 2.0, 3.0, 4.0];
+        let gamma = [1.0f32; 4];
+        let beta = [0.0f32; 4];
+        let out = layer_norm(&x, &gamma, &beta, 1e-5);
+        let mean = out.output.iter().sum::<f32>() / 4.0;
+        let var = out.output.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_affine_parameters_apply() {
+        let x = [0.0f32, 2.0];
+        let gamma = [2.0f32, 2.0];
+        let beta = [1.0f32, 1.0];
+        let out = layer_norm(&x, &gamma, &beta, 1e-5);
+        assert!((out.output[0] + 1.0).abs() < 1e-3); // -1*2+1
+        assert!((out.output[1] - 3.0).abs() < 1e-3); // 1*2+1
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_numeric_gradient() {
+        let x = vec![0.5f32, -1.0, 2.0, 0.3];
+        let gamma = vec![1.2f32, 0.8, 1.0, 1.5];
+        let beta = vec![0.1f32, -0.2, 0.0, 0.3];
+        let upstream = vec![0.7f32, -0.3, 0.5, 0.2];
+        let forward = layer_norm(&x, &gamma, &beta, 1e-5);
+        let grads = layer_norm_backward(&forward, &gamma, &upstream);
+        let loss = |input: &[f32]| -> f32 {
+            let out = layer_norm(input, &gamma, &beta, 1e-5);
+            out.output
+                .iter()
+                .zip(upstream.iter())
+                .map(|(o, u)| o * u)
+                .sum()
+        };
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus[i] += 1e-3;
+            let mut minus = x.clone();
+            minus[i] -= 1e-3;
+            let numeric = (loss(&plus) - loss(&minus)) / 2e-3;
+            assert!(
+                (grads.d_input[i] - numeric).abs() < 1e-2,
+                "d_input[{i}]: {} vs {}",
+                grads.d_input[i],
+                numeric
+            );
+        }
+        // d_beta is the upstream gradient itself.
+        assert_eq!(grads.d_beta, upstream);
+        assert_eq!(grads.d_gamma.len(), x.len());
+    }
+
+    #[test]
+    fn cross_entropy_penalizes_wrong_confident_predictions() {
+        let confident_right = cross_entropy(&[0.05, 0.9, 0.05], 1);
+        let confident_wrong = cross_entropy(&[0.9, 0.05, 0.05], 1);
+        assert!(confident_wrong > confident_right);
+        assert!(confident_right < 0.2);
+    }
+
+    #[test]
+    fn squared_error_is_symmetric() {
+        assert_eq!(squared_error(2.0, 5.0), squared_error(5.0, 2.0));
+        assert_eq!(squared_error(3.0, 3.0), 0.0);
+    }
+}

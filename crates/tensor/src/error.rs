@@ -1,0 +1,101 @@
+//! Error types shared by the numerical substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix algebra, decompositions, and quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand (rows, cols).
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// Requested (row, col).
+        index: (usize, usize),
+        /// Actual shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// A matrix dimension was zero or otherwise invalid for the operation.
+    InvalidDimension(String),
+    /// An iterative algorithm (e.g. Jacobi SVD) failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A scalar argument was outside its valid range.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::InvalidDimension(msg) => write!(f, "invalid dimension: {msg}"),
+            TensorError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_mentions_both_shapes() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let text = err.to_string();
+        assert!(text.contains("2x3"));
+        assert!(text.contains("4x5"));
+        assert!(text.contains("matmul"));
+    }
+
+    #[test]
+    fn display_no_convergence_mentions_algorithm() {
+        let err = TensorError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: 64,
+        };
+        assert!(err.to_string().contains("jacobi-svd"));
+        assert!(err.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<TensorError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

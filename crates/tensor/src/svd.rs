@@ -1,0 +1,407 @@
+//! Singular value decomposition via one-sided Jacobi rotations.
+//!
+//! The paper's gradient-redistribution technique (Section 4) decomposes every
+//! static transformer weight matrix as `W = U Σ Vᵀ`, truncates the rank to a
+//! *hard threshold* `D_Th = (D_h1 · D_h2) / (D_h1 + D_h2)` so the inference
+//! MAC count is unchanged, fine-tunes the factors, and maps the ranks whose
+//! singular values carry the largest loss gradient onto SLC RRAM.
+//!
+//! One-sided Jacobi is chosen because it is simple, numerically robust for
+//! the well-conditioned weight matrices seen here, and needs no external
+//! LAPACK dependency. It orthogonalizes the columns of a working copy of `W`
+//! by plane rotations; the column norms become the singular values.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Convergence threshold on the off-diagonal cosine.
+const EPS: f64 = 1e-10;
+
+/// A singular value decomposition `W = U Σ Vᵀ`.
+///
+/// `u` is `m×r`, `singular_values` has length `r`, and `vt` is `r×n` where
+/// `r = min(m, n)` (or less after [`Svd::truncate`]). Singular values are
+/// sorted in non-increasing order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Svd {
+    /// Left singular vectors, one column per retained rank.
+    pub u: Matrix,
+    /// Singular values in non-increasing order.
+    pub singular_values: Vec<f32>,
+    /// Right singular vectors (transposed), one row per retained rank.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Number of retained ranks.
+    pub fn rank(&self) -> usize {
+        self.singular_values.len()
+    }
+
+    /// Reconstructs `U Σ Vᵀ` at the current (possibly truncated) rank.
+    pub fn reconstruct(&self) -> Matrix {
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut out = Matrix::zeros(m, n);
+        for (k, &sigma) in self.singular_values.iter().enumerate() {
+            if sigma == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let ui = self.u.at(i, k) * sigma;
+                if ui == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = out.at(i, j) + ui * self.vt.at(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy truncated to the leading `k` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `k` is zero or exceeds the
+    /// current rank.
+    pub fn truncate(&self, k: usize) -> Result<Svd> {
+        if k == 0 || k > self.rank() {
+            return Err(TensorError::InvalidArgument(format!(
+                "truncation rank {k} must be in 1..={}",
+                self.rank()
+            )));
+        }
+        let u = self.u.submatrix(0, 0, self.u.rows(), k)?;
+        let vt = self.vt.submatrix(0, 0, k, self.vt.cols())?;
+        Ok(Svd {
+            u,
+            singular_values: self.singular_values[..k].to_vec(),
+            vt,
+        })
+    }
+
+    /// The factor `Σ Vᵀ` (size `r×n`), which the paper pre-computes and stores
+    /// in RRAM together with `U` (Figure 10, step 3).
+    pub fn sigma_vt(&self) -> Matrix {
+        let mut out = self.vt.clone();
+        for (k, &sigma) in self.singular_values.iter().enumerate() {
+            for j in 0..out.cols() {
+                out.set(k, j, out.at(k, j) * sigma);
+            }
+        }
+        out
+    }
+
+    /// The factor `U Σ` (size `m×r`).
+    pub fn u_sigma(&self) -> Matrix {
+        let mut out = self.u.clone();
+        for (k, &sigma) in self.singular_values.iter().enumerate() {
+            for i in 0..out.rows() {
+                out.set(i, k, out.at(i, k) * sigma);
+            }
+        }
+        out
+    }
+
+    /// Fraction of total squared singular mass captured by the leading `k` ranks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `k` exceeds the rank.
+    pub fn captured_energy(&self, k: usize) -> Result<f64> {
+        if k > self.rank() {
+            return Err(TensorError::InvalidArgument(format!(
+                "k={k} exceeds rank {}",
+                self.rank()
+            )));
+        }
+        let total: f64 = self
+            .singular_values
+            .iter()
+            .map(|s| (*s as f64).powi(2))
+            .sum();
+        if total == 0.0 {
+            return Ok(1.0);
+        }
+        let head: f64 = self.singular_values[..k]
+            .iter()
+            .map(|s| (*s as f64).powi(2))
+            .sum();
+        Ok(head / total)
+    }
+}
+
+/// The paper's hard rank threshold `D_Th = (D_h1 · D_h2) / (D_h1 + D_h2)`.
+///
+/// At this rank the post-SVD factored multiply `x·(ΣVᵀ)ᵀ` followed by `·Uᵀ`
+/// costs the same number of MACs (and stores the same number of parameters)
+/// as the original dense `x·Wᵀ`.
+pub fn hard_threshold_rank(rows: usize, cols: usize) -> usize {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    ((rows * cols) / (rows + cols)).max(1)
+}
+
+/// Computes the full SVD of `w` using one-sided Jacobi rotations.
+///
+/// Works for any shape; internally operates on the transpose when `m < n` so
+/// the working matrix always has at least as many rows as columns.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NoConvergence`] if the Jacobi sweeps fail to
+/// converge (practically impossible for finite inputs of the sizes used
+/// here).
+pub fn svd(w: &Matrix) -> Result<Svd> {
+    if w.rows() >= w.cols() {
+        svd_tall(w)
+    } else {
+        // W = U Σ Vᵀ  ⇔  Wᵀ = V Σ Uᵀ.
+        let t = svd_tall(&w.transpose())?;
+        Ok(Svd {
+            u: t.vt.transpose(),
+            singular_values: t.singular_values,
+            vt: t.u.transpose(),
+        })
+    }
+}
+
+/// One-sided Jacobi for `m >= n`.
+fn svd_tall(w: &Matrix) -> Result<Svd> {
+    let m = w.rows();
+    let n = w.cols();
+    // Working copy whose columns we orthogonalize: starts as W, ends as U·Σ.
+    let mut a = w.clone();
+    // Accumulated right rotations: V (n×n).
+    let mut v = Matrix::identity(n);
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off_diagonal = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the (p, q) column pair.
+                let mut alpha = 0.0f64;
+                let mut beta = 0.0f64;
+                let mut gamma = 0.0f64;
+                for i in 0..m {
+                    let ap = a.at(i, p) as f64;
+                    let aq = a.at(i, q) as f64;
+                    alpha += ap * ap;
+                    beta += aq * aq;
+                    gamma += ap * aq;
+                }
+                if alpha == 0.0 || beta == 0.0 {
+                    continue;
+                }
+                let cosine = gamma.abs() / (alpha * beta).sqrt();
+                off_diagonal = off_diagonal.max(cosine);
+                if cosine <= EPS {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the (p, q) Gram entry.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let ap = a.at(i, p) as f64;
+                    let aq = a.at(i, q) as f64;
+                    a.set(i, p, (c * ap - s * aq) as f32);
+                    a.set(i, q, (s * ap + c * aq) as f32);
+                }
+                for i in 0..n {
+                    let vp = v.at(i, p) as f64;
+                    let vq = v.at(i, q) as f64;
+                    v.set(i, p, (c * vp - s * vq) as f32);
+                    v.set(i, q, (s * vp + c * vq) as f32);
+                }
+            }
+        }
+        if off_diagonal <= EPS {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One-sided Jacobi converges extremely reliably; if we get here the
+        // matrix still has essentially orthogonal columns, so proceed but
+        // flag pathological cases (NaN/Inf inputs) as errors.
+        if a.as_slice().iter().any(|x| !x.is_finite()) {
+            return Err(TensorError::NoConvergence {
+                algorithm: "one-sided Jacobi SVD",
+                iterations: MAX_SWEEPS,
+            });
+        }
+    }
+
+    // Column norms of the rotated matrix are the singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigmas: Vec<f64> = Vec::with_capacity(n);
+    for j in 0..n {
+        let norm: f64 = (0..m).map(|i| (a.at(i, j) as f64).powi(2)).sum::<f64>().sqrt();
+        sigmas.push(norm);
+    }
+    order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut singular_values = Vec::with_capacity(n);
+    for (new_k, &old_k) in order.iter().enumerate() {
+        let sigma = sigmas[old_k];
+        singular_values.push(sigma as f32);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set(i, new_k, (a.at(i, old_k) as f64 / sigma) as f32);
+            }
+        }
+        for j in 0..n {
+            vt.set(new_k, j, v.at(j, old_k));
+        }
+    }
+
+    Ok(Svd {
+        u,
+        singular_values,
+        vt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::random_normal(rows, cols, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let w = random(12, 8, 1);
+        let d = svd(&w).unwrap();
+        assert_eq!(d.rank(), 8);
+        assert!(w.approx_eq(&d.reconstruct(), 1e-3));
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let w = random(6, 14, 2);
+        let d = svd(&w).unwrap();
+        assert_eq!(d.rank(), 6);
+        assert!(w.approx_eq(&d.reconstruct(), 1e-3));
+    }
+
+    #[test]
+    fn reconstructs_square_matrix() {
+        let w = random(10, 10, 3);
+        let d = svd(&w).unwrap();
+        assert!(w.approx_eq(&d.reconstruct(), 1e-3));
+    }
+
+    #[test]
+    fn singular_values_are_sorted_and_nonnegative() {
+        let w = random(16, 9, 4);
+        let d = svd(&w).unwrap();
+        for pair in d.singular_values.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(d.singular_values.iter().all(|s| *s >= 0.0));
+    }
+
+    #[test]
+    fn u_and_v_have_orthonormal_columns() {
+        let w = random(12, 6, 5);
+        let d = svd(&w).unwrap();
+        let utu = d.u.transpose().matmul(&d.u).unwrap();
+        assert!(utu.approx_eq(&Matrix::identity(6), 1e-3));
+        let vvt = d.vt.matmul(&d.vt.transpose()).unwrap();
+        assert!(vvt.approx_eq(&Matrix::identity(6), 1e-3));
+    }
+
+    #[test]
+    fn matches_known_diagonal_case() {
+        let w = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0], vec![0.0, 0.0]]).unwrap();
+        let d = svd(&w).unwrap();
+        assert!((d.singular_values[0] - 3.0).abs() < 1e-5);
+        assert!((d.singular_values[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rank_one_matrix_has_single_nonzero_singular_value() {
+        let u = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let v = Matrix::from_rows(&[vec![4.0, 5.0]]).unwrap();
+        let w = u.matmul(&v).unwrap();
+        let d = svd(&w).unwrap();
+        assert!(d.singular_values[0] > 1.0);
+        assert!(d.singular_values[1].abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncation_reduces_rank_and_error_grows_gracefully() {
+        let w = random(20, 12, 6);
+        let d = svd(&w).unwrap();
+        let full_err = w.relative_error(&d.reconstruct()).unwrap();
+        let half = d.truncate(6).unwrap();
+        assert_eq!(half.rank(), 6);
+        let half_err = w.relative_error(&half.reconstruct()).unwrap();
+        assert!(half_err >= full_err);
+        assert!(half_err < 1.0);
+        assert!(d.truncate(0).is_err());
+        assert!(d.truncate(13).is_err());
+    }
+
+    #[test]
+    fn sigma_vt_and_u_sigma_factorizations_agree() {
+        let w = random(9, 7, 7);
+        let d = svd(&w).unwrap();
+        let via_sigma_vt = d.u.matmul(&d.sigma_vt()).unwrap();
+        let via_u_sigma = d.u_sigma().matmul(&d.vt).unwrap();
+        assert!(via_sigma_vt.approx_eq(&w, 1e-3));
+        assert!(via_u_sigma.approx_eq(&w, 1e-3));
+    }
+
+    #[test]
+    fn captured_energy_is_monotone() {
+        let w = random(15, 10, 8);
+        let d = svd(&w).unwrap();
+        let mut prev = 0.0;
+        for k in 1..=d.rank() {
+            let e = d.captured_energy(k).unwrap();
+            assert!(e >= prev);
+            prev = e;
+        }
+        assert!((prev - 1.0).abs() < 1e-6);
+        assert!(d.captured_energy(d.rank() + 1).is_err());
+    }
+
+    #[test]
+    fn hard_threshold_matches_paper_formula() {
+        // BERT-Base FFN1: 768 x 3072 -> 768*3072/(768+3072) = 614.4 -> 614.
+        assert_eq!(hard_threshold_rank(768, 3072), 614);
+        // Square matrix D x D -> D/2.
+        assert_eq!(hard_threshold_rank(768, 768), 384);
+        assert_eq!(hard_threshold_rank(0, 10), 0);
+        assert_eq!(hard_threshold_rank(1, 1), 1);
+    }
+
+    #[test]
+    fn hard_threshold_preserves_parameter_count() {
+        let (m, n) = (64usize, 256usize);
+        let k = hard_threshold_rank(m, n);
+        let factored = k * n + m * k;
+        assert!(factored <= m * n);
+        // Within one rank of the dense parameter count.
+        assert!(m * n - factored <= m + n);
+    }
+}

@@ -1,0 +1,384 @@
+//! Multi-head self-attention with full backward pass.
+//!
+//! The four projection matrices (`W_Q`, `W_K`, `W_V`, `W_proj`) are the
+//! static weights HyFlexPIM maps onto analog RRAM (Figure 9, blocks 1 and 2);
+//! the score (`Q·Kᵀ`) and context (`softmax·V`) products involve dynamically
+//! generated operands and are executed on digital PIM. This module implements
+//! the exact functional computation with gradients; the hardware mapping and
+//! its costs live in `hyflex-pim`.
+
+use crate::error::ModelError;
+use crate::layers::{AnyLinear, Linear};
+use crate::param::AdamWConfig;
+use crate::Result;
+use hyflex_tensor::activations::{softmax, softmax_backward};
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Multi-head self-attention layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    wq: AnyLinear,
+    wk: AnyLinear,
+    wv: AnyLinear,
+    wo: AnyLinear,
+    num_heads: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer over hidden size `dim` with `num_heads` heads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] if `dim` is not divisible by
+    /// `num_heads`.
+    pub fn new(dim: usize, num_heads: usize, rng: &mut Rng) -> Result<Self> {
+        if num_heads == 0 || dim % num_heads != 0 {
+            return Err(ModelError::InvalidConfig(format!(
+                "hidden dim {dim} must be divisible by {num_heads} heads"
+            )));
+        }
+        Ok(MultiHeadAttention {
+            wq: AnyLinear::Dense(Linear::new(dim, dim, rng)),
+            wk: AnyLinear::Dense(Linear::new(dim, dim, rng)),
+            wv: AnyLinear::Dense(Linear::new(dim, dim, rng)),
+            wo: AnyLinear::Dense(Linear::new(dim, dim, rng)),
+            num_heads,
+        })
+    }
+
+    /// Hidden dimension.
+    pub fn dim(&self) -> usize {
+        self.wq.in_dim()
+    }
+
+    /// Number of attention heads.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.dim() / self.num_heads
+    }
+
+    /// Access to the four projection layers, in `[W_Q, W_K, W_V, W_proj]`
+    /// order, for factorization and noise injection.
+    pub fn projections_mut(&mut self) -> [&mut AnyLinear; 4] {
+        [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    /// Immutable access to the projection layers in the same order.
+    pub fn projections(&self) -> [&AnyLinear; 4] {
+        [&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+
+    /// Forward pass over a `[L, dim]` activation matrix.
+    ///
+    /// `causal` masks attention to positions `> i` (decoder behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the projections.
+    pub fn forward(&self, x: &Matrix, causal: bool) -> Result<Matrix> {
+        let (q, k, v) = (self.wq.forward(x)?, self.wk.forward(x)?, self.wv.forward(x)?);
+        let context = self.attend(&q, &k, &v, causal)?;
+        self.wo.forward(&context)
+    }
+
+    fn head_slice(&self, m: &Matrix, head: usize) -> Matrix {
+        let hd = self.head_dim();
+        m.submatrix(0, head * hd, m.rows(), hd)
+            .expect("head slice within projection output")
+    }
+
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix, causal: bool) -> Result<Matrix> {
+        let len = q.rows();
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut context = Matrix::zeros(len, self.dim());
+        for head in 0..self.num_heads {
+            let qh = self.head_slice(q, head);
+            let kh = self.head_slice(k, head);
+            let vh = self.head_slice(v, head);
+            let mut scores = qh.matmul_transpose(&kh)?.scale(scale);
+            if causal {
+                apply_causal_mask(&mut scores);
+            }
+            let mut probs = Matrix::zeros(len, len);
+            for r in 0..len {
+                probs.row_mut(r).copy_from_slice(&softmax(scores.row(r)));
+            }
+            let out_h = probs.matmul(&vh)?;
+            context.set_submatrix(0, head * hd, &out_h)?;
+        }
+        Ok(context)
+    }
+
+    /// Backward pass: accumulates projection gradients and returns `dL/dx`.
+    ///
+    /// The forward intermediates are recomputed internally, so the caller only
+    /// supplies the original input.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the projections.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix, causal: bool) -> Result<Matrix> {
+        let len = x.rows();
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let q = self.wq.forward(x)?;
+        let k = self.wk.forward(x)?;
+        let v = self.wv.forward(x)?;
+        let context = self.attend(&q, &k, &v, causal)?;
+
+        // Through the output projection.
+        let d_context = self.wo.backward(&context, grad_out)?;
+
+        let mut d_q = Matrix::zeros(len, self.dim());
+        let mut d_k = Matrix::zeros(len, self.dim());
+        let mut d_v = Matrix::zeros(len, self.dim());
+
+        for head in 0..self.num_heads {
+            let qh = self.head_slice(&q, head);
+            let kh = self.head_slice(&k, head);
+            let vh = self.head_slice(&v, head);
+            let d_ctx_h = self.head_slice(&d_context, head);
+
+            let mut scores = qh.matmul_transpose(&kh)?.scale(scale);
+            if causal {
+                apply_causal_mask(&mut scores);
+            }
+            let mut probs = Matrix::zeros(len, len);
+            for r in 0..len {
+                probs.row_mut(r).copy_from_slice(&softmax(scores.row(r)));
+            }
+
+            // d_probs = d_ctx_h · vhᵀ ; d_vh = probsᵀ · d_ctx_h
+            let d_probs = d_ctx_h.matmul(&vh.transpose())?;
+            let d_vh = probs.transpose().matmul(&d_ctx_h)?;
+
+            // Through the row-wise softmax.
+            let mut d_scores = Matrix::zeros(len, len);
+            for r in 0..len {
+                let ds = softmax_backward(probs.row(r), d_probs.row(r));
+                d_scores.row_mut(r).copy_from_slice(&ds);
+            }
+            if causal {
+                zero_masked_grads(&mut d_scores);
+            }
+            let d_scores = d_scores.scale(scale);
+
+            // d_qh = d_scores · kh ; d_kh = d_scoresᵀ · qh
+            let d_qh = d_scores.matmul(&kh)?;
+            let d_kh = d_scores.transpose().matmul(&qh)?;
+
+            d_q.set_submatrix(0, head * hd, &d_qh)?;
+            d_k.set_submatrix(0, head * hd, &d_kh)?;
+            d_v.set_submatrix(0, head * hd, &d_vh)?;
+        }
+
+        let dx_q = self.wq.backward(x, &d_q)?;
+        let dx_k = self.wk.backward(x, &d_k)?;
+        let dx_v = self.wv.backward(x, &d_v)?;
+        let mut dx = dx_q;
+        dx.add_assign(&dx_k)?;
+        dx.add_assign(&dx_v)?;
+        Ok(dx)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.wq.zero_grad();
+        self.wk.zero_grad();
+        self.wv.zero_grad();
+        self.wo.zero_grad();
+    }
+
+    /// Applies one AdamW step to every projection.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.wq.step(config, batch_size);
+        self.wk.step(config, batch_size);
+        self.wv.step(config, batch_size);
+        self.wo.step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.wq.parameter_count()
+            + self.wk.parameter_count()
+            + self.wv.parameter_count()
+            + self.wo.parameter_count()
+    }
+}
+
+fn apply_causal_mask(scores: &mut Matrix) {
+    let n = scores.rows();
+    for r in 0..n {
+        for c in (r + 1)..n {
+            scores.set(r, c, f32::NEG_INFINITY);
+        }
+    }
+}
+
+fn zero_masked_grads(d_scores: &mut Matrix) {
+    let n = d_scores.rows();
+    for r in 0..n {
+        for c in (r + 1)..n {
+            d_scores.set(r, c, 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(dim: usize, heads: usize, seed: u64) -> MultiHeadAttention {
+        let mut rng = Rng::seed_from(seed);
+        MultiHeadAttention::new(dim, heads, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_head_divisibility() {
+        let mut rng = Rng::seed_from(1);
+        assert!(MultiHeadAttention::new(8, 3, &mut rng).is_err());
+        assert!(MultiHeadAttention::new(8, 0, &mut rng).is_err());
+        let attn = MultiHeadAttention::new(8, 2, &mut rng).unwrap();
+        assert_eq!(attn.head_dim(), 4);
+        assert_eq!(attn.num_heads(), 2);
+        assert_eq!(attn.dim(), 8);
+        assert_eq!(attn.parameter_count(), 4 * (8 * 8 + 8));
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let attn = make(8, 2, 2);
+        let mut rng = Rng::seed_from(3);
+        let x = Matrix::random_normal(5, 8, 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), (5, 8));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_positions() {
+        let attn = make(4, 1, 4);
+        let mut rng = Rng::seed_from(5);
+        let x = Matrix::random_normal(6, 4, 0.0, 1.0, &mut rng);
+        // Changing a future token must not change earlier outputs under the
+        // causal mask.
+        let y1 = attn.forward(&x, true).unwrap();
+        let mut x2 = x.clone();
+        for c in 0..4 {
+            x2.set(5, c, x.at(5, c) + 3.0);
+        }
+        let y2 = attn.forward(&x2, true).unwrap();
+        for r in 0..5 {
+            for c in 0..4 {
+                assert!(
+                    (y1.at(r, c) - y2.at(r, c)).abs() < 1e-5,
+                    "causal leak at ({r}, {c})"
+                );
+            }
+        }
+        // Without the mask the earlier outputs do change.
+        let y3 = attn.forward(&x, false).unwrap();
+        let y4 = attn.forward(&x2, false).unwrap();
+        let changed = (0..5).any(|r| (y3.at(r, 0) - y4.at(r, 0)).abs() > 1e-4);
+        assert!(changed);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let attn = make(6, 2, 6);
+        let mut rng = Rng::seed_from(7);
+        let x = Matrix::random_normal(4, 6, 0.0, 0.8, &mut rng);
+        let upstream = Matrix::random_normal(4, 6, 0.0, 1.0, &mut rng);
+        let mut attn_mut = attn.clone();
+        let d_input = attn_mut.backward(&x, &upstream, false).unwrap();
+        let loss = |input: &Matrix| -> f32 {
+            attn.forward(input, false)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-2);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-2);
+                let numeric = (loss(&plus) - loss(&minus)) / 2e-2;
+                assert!(
+                    (d_input.at(r, c) - numeric).abs() < 5e-2,
+                    "attention d_input[{r},{c}]: {} vs {}",
+                    d_input.at(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn causal_input_gradient_matches_finite_difference() {
+        let attn = make(4, 2, 8);
+        let mut rng = Rng::seed_from(9);
+        let x = Matrix::random_normal(3, 4, 0.0, 0.8, &mut rng);
+        let upstream = Matrix::random_normal(3, 4, 0.0, 1.0, &mut rng);
+        let mut attn_mut = attn.clone();
+        let d_input = attn_mut.backward(&x, &upstream, true).unwrap();
+        let loss = |input: &Matrix| -> f32 {
+            attn.forward(input, true)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-2);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-2);
+                let numeric = (loss(&plus) - loss(&minus)) / 2e-2;
+                assert!((d_input.at(r, c) - numeric).abs() < 5e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn projections_can_be_factorized() {
+        let mut attn = make(8, 2, 10);
+        for proj in attn.projections_mut() {
+            proj.factorize(4).unwrap();
+        }
+        assert!(attn.projections().iter().all(|p| p.as_factored().is_some()));
+        let mut rng = Rng::seed_from(11);
+        let x = Matrix::random_normal(3, 8, 0.0, 1.0, &mut rng);
+        let y = attn.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), (3, 8));
+    }
+
+    #[test]
+    fn zero_grad_and_step_do_not_panic_and_update() {
+        let mut attn = make(4, 1, 12);
+        let mut rng = Rng::seed_from(13);
+        let x = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::filled(2, 4, 0.5);
+        let before = attn.forward(&x, false).unwrap();
+        attn.backward(&x, &upstream, false).unwrap();
+        attn.step(
+            &AdamWConfig {
+                learning_rate: 0.05,
+                ..AdamWConfig::default()
+            },
+            1,
+        );
+        attn.zero_grad();
+        let after = attn.forward(&x, false).unwrap();
+        assert!(!before.approx_eq(&after, 1e-6), "step should change outputs");
+    }
+}

@@ -1,0 +1,218 @@
+//! A pre-norm transformer block: attention and FFN with residual connections.
+
+use crate::attention::MultiHeadAttention;
+use crate::ffn::FeedForward;
+use crate::layers::{AnyLinear, LayerNorm};
+use crate::param::AdamWConfig;
+use crate::Result;
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// One transformer block: `x + Attn(LN(x))` followed by `h + FFN(LN(h))`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    ln1: LayerNorm,
+    attention: MultiHeadAttention,
+    ln2: LayerNorm,
+    ffn: FeedForward,
+}
+
+impl TransformerBlock {
+    /// Creates a block with the given hidden size, FFN size, and head count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if `dim` is not divisible by `num_heads`.
+    pub fn new(dim: usize, ffn_dim: usize, num_heads: usize, rng: &mut Rng) -> Result<Self> {
+        Ok(TransformerBlock {
+            ln1: LayerNorm::new(dim),
+            attention: MultiHeadAttention::new(dim, num_heads, rng)?,
+            ln2: LayerNorm::new(dim),
+            ffn: FeedForward::new(dim, ffn_dim, rng),
+        })
+    }
+
+    /// Hidden dimension.
+    pub fn dim(&self) -> usize {
+        self.ln1.dim()
+    }
+
+    /// The attention sub-layer.
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attention
+    }
+
+    /// The FFN sub-layer.
+    pub fn ffn(&self) -> &FeedForward {
+        &self.ffn
+    }
+
+    /// All six static linear layers of the block, in the paper's order:
+    /// `[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`.
+    pub fn static_linears_mut(&mut self) -> Vec<&mut AnyLinear> {
+        let [wq, wk, wv, wo] = self.attention.projections_mut();
+        let [fc1, fc2] = self.ffn.layers_mut();
+        vec![wq, wk, wv, wo, fc1, fc2]
+    }
+
+    /// Immutable view of the six static linear layers.
+    pub fn static_linears(&self) -> Vec<&AnyLinear> {
+        let [wq, wk, wv, wo] = self.attention.projections();
+        let [fc1, fc2] = self.ffn.layers();
+        vec![wq, wk, wv, wo, fc1, fc2]
+    }
+
+    /// Forward pass over a `[L, dim]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn forward(&self, x: &Matrix, causal: bool) -> Result<Matrix> {
+        let attn_out = self.attention.forward(&self.ln1.forward(x)?, causal)?;
+        let h = x.add(&attn_out)?;
+        let ffn_out = self.ffn.forward(&self.ln2.forward(&h)?)?;
+        Ok(h.add(&ffn_out)?)
+    }
+
+    /// Backward pass: accumulates gradients in all sub-layers and returns
+    /// `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix, causal: bool) -> Result<Matrix> {
+        // Recompute the forward intermediates.
+        let ln1_out = self.ln1.forward(x)?;
+        let attn_out = self.attention.forward(&ln1_out, causal)?;
+        let h = x.add(&attn_out)?;
+        let ln2_out = self.ln2.forward(&h)?;
+
+        // y = h + FFN(LN2(h))
+        let d_ffn_in = self.ffn.backward(&ln2_out, grad_out)?;
+        let d_h_from_ffn = self.ln2.backward(&h, &d_ffn_in)?;
+        let mut d_h = grad_out.clone();
+        d_h.add_assign(&d_h_from_ffn)?;
+
+        // h = x + Attn(LN1(x))
+        let d_attn_in = self.attention.backward(&ln1_out, &d_h, causal)?;
+        let d_x_from_attn = self.ln1.backward(x, &d_attn_in)?;
+        let mut d_x = d_h;
+        d_x.add_assign(&d_x_from_attn)?;
+        Ok(d_x)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.ln1.zero_grad();
+        self.attention.zero_grad();
+        self.ln2.zero_grad();
+        self.ffn.zero_grad();
+    }
+
+    /// Applies one AdamW step to every sub-layer.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.ln1.step(config, batch_size);
+        self.attention.step(config, batch_size);
+        self.ln2.step(config, batch_size);
+        self.ffn.step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.ln1.parameter_count()
+            + self.attention.parameter_count()
+            + self.ln2.parameter_count()
+            + self.ffn.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_preserves_shape_and_counts_parameters() {
+        let mut rng = Rng::seed_from(1);
+        let block = TransformerBlock::new(8, 16, 2, &mut rng).unwrap();
+        let x = Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), (4, 8));
+        assert_eq!(block.dim(), 8);
+        let expected = 2 * 2 * 8 + 4 * (8 * 8 + 8) + (8 * 16 + 16) + (16 * 8 + 8);
+        assert_eq!(block.parameter_count(), expected);
+    }
+
+    #[test]
+    fn six_static_linears_are_exposed() {
+        let mut rng = Rng::seed_from(2);
+        let mut block = TransformerBlock::new(8, 16, 2, &mut rng).unwrap();
+        assert_eq!(block.static_linears().len(), 6);
+        assert_eq!(block.static_linears_mut().len(), 6);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(3);
+        let block = TransformerBlock::new(6, 12, 2, &mut rng).unwrap();
+        let x = Matrix::random_normal(3, 6, 0.0, 0.5, &mut rng);
+        let upstream = Matrix::random_normal(3, 6, 0.0, 1.0, &mut rng);
+        let mut block_mut = block.clone();
+        let d_input = block_mut.backward(&x, &upstream, false).unwrap();
+        let loss = |input: &Matrix| -> f32 {
+            block
+                .forward(input, false)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-2);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-2);
+                let numeric = (loss(&plus) - loss(&minus)) / 2e-2;
+                assert!(
+                    (d_input.at(r, c) - numeric).abs() < 0.1,
+                    "block d_input[{r},{c}]: {} vs {}",
+                    d_input.at(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residual_path_keeps_output_close_to_input_at_init() {
+        // With Xavier-initialized small weights the block output should stay
+        // in the same ballpark as the input (residual connections dominate).
+        let mut rng = Rng::seed_from(4);
+        let block = TransformerBlock::new(8, 16, 2, &mut rng).unwrap();
+        let x = Matrix::random_normal(4, 8, 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, false).unwrap();
+        let rel = y.sub(&x).unwrap().frobenius_norm() / x.frobenius_norm();
+        assert!(rel < 3.0);
+    }
+
+    #[test]
+    fn step_changes_outputs() {
+        let mut rng = Rng::seed_from(5);
+        let mut block = TransformerBlock::new(4, 8, 1, &mut rng).unwrap();
+        let x = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        let before = block.forward(&x, false).unwrap();
+        let grad = Matrix::filled(2, 4, 1.0);
+        block.backward(&x, &grad, false).unwrap();
+        block.step(
+            &AdamWConfig {
+                learning_rate: 0.05,
+                ..AdamWConfig::default()
+            },
+            1,
+        );
+        block.zero_grad();
+        let after = block.forward(&x, false).unwrap();
+        assert!(!before.approx_eq(&after, 1e-6));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the transformer substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, running, or training transformer models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A configuration parameter was invalid (zero dimension, mismatched heads, ...).
+    InvalidConfig(String),
+    /// An input did not match the model configuration.
+    InvalidInput(String),
+    /// An underlying tensor operation failed.
+    Tensor(hyflex_tensor::TensorError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidConfig(msg) => write!(f, "invalid model configuration: {msg}"),
+            ModelError::InvalidInput(msg) => write!(f, "invalid model input: {msg}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hyflex_tensor::TensorError> for ModelError {
+    fn from(e: hyflex_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ModelError::InvalidConfig("heads".into())
+            .to_string()
+            .contains("heads"));
+        assert!(ModelError::InvalidInput("len".into())
+            .to_string()
+            .contains("len"));
+    }
+
+    #[test]
+    fn tensor_errors_convert() {
+        let e: ModelError = hyflex_tensor::TensorError::InvalidArgument("x".into()).into();
+        assert!(matches!(e, ModelError::Tensor(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,396 @@
+//! Truncated-SVD factored linear layers.
+//!
+//! The paper's gradient redistribution (Section 4) replaces every static
+//! weight matrix `W` with its truncated SVD `U_k Σ_k V_kᵀ`, keeps the three
+//! factors as separate trainable parameters, fine-tunes for 1–3 epochs, and
+//! then ranks the singular values by the magnitude of their accumulated loss
+//! gradient. The top-k% ranks are stored in SLC, the rest in MLC.
+//!
+//! [`FactoredLinear`] is that layer: `y = x · U · diag(σ) · Vᵀ + b`, with
+//! per-factor gradients, direct access to `|∂L/∂σ_r|`, and conversion back to
+//! a dense matrix (or to the `U` / `ΣVᵀ` pair the hardware stores).
+
+use crate::layers::Linear;
+use crate::param::{AdamWConfig, Param};
+use crate::Result;
+use hyflex_tensor::svd::{self, hard_threshold_rank};
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A linear layer in truncated-SVD form: `y = x · U · diag(σ) · Vᵀ + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactoredLinear {
+    /// Left factor `U`, shape `[in, k]`.
+    u: Param,
+    /// Singular values, shape `[1, k]`.
+    sigma: Param,
+    /// Right factor `Vᵀ`, shape `[k, out]`.
+    vt: Param,
+    /// Bias, shape `[1, out]`.
+    bias: Param,
+}
+
+impl FactoredLinear {
+    /// Factorizes a dense layer at the given rank.
+    ///
+    /// Rank 0 (or a rank larger than `min(in, out)`) is clamped to the full
+    /// rank; use [`hard_threshold_rank`] for the paper's cost-neutral rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_dense(dense: &Linear, rank: usize) -> Result<Self> {
+        Self::from_weight(dense.weight(), rank)
+    }
+
+    /// Factorizes an explicit `[in, out]` weight matrix at the given rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_weight(weight: &Matrix, rank: usize) -> Result<Self> {
+        let decomposition = svd::svd(weight)?;
+        let full_rank = decomposition.rank();
+        let k = if rank == 0 { full_rank } else { rank.min(full_rank) };
+        let truncated = decomposition.truncate(k)?;
+        let sigma_row =
+            Matrix::from_vec(1, k, truncated.singular_values.iter().copied().collect())?;
+        Ok(FactoredLinear {
+            u: Param::new(truncated.u),
+            sigma: Param::new(sigma_row),
+            vt: Param::new(truncated.vt),
+            bias: Param::new(Matrix::zeros(1, weight.cols())),
+        })
+    }
+
+    /// Factorizes at the paper's hard-threshold rank
+    /// `D_Th = in·out / (in + out)`, which keeps inference MACs and parameter
+    /// count no larger than the dense layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_weight_hard_threshold(weight: &Matrix) -> Result<Self> {
+        let rank = hard_threshold_rank(weight.rows(), weight.cols());
+        Self::from_weight(weight, rank)
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.u.value().rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.vt.value().cols()
+    }
+
+    /// Retained rank.
+    pub fn rank(&self) -> usize {
+        self.sigma.value().cols()
+    }
+
+    /// Current singular values (rank-ordered as produced by the SVD; after
+    /// fine-tuning they may no longer be sorted).
+    pub fn singular_values(&self) -> Vec<f32> {
+        self.sigma.value().row(0).to_vec()
+    }
+
+    /// Absolute accumulated gradient of the loss w.r.t. each singular value —
+    /// the importance signal used for SLC/MLC rank selection.
+    pub fn sigma_gradients(&self) -> Vec<f64> {
+        self.sigma
+            .grad()
+            .row(0)
+            .iter()
+            .map(|g| f64::from(g.abs()))
+            .collect()
+    }
+
+    /// The left factor `U`.
+    pub fn u(&self) -> &Matrix {
+        self.u.value()
+    }
+
+    /// The right factor `Vᵀ`.
+    pub fn vt(&self) -> &Matrix {
+        self.vt.value()
+    }
+
+    /// The factor `diag(σ)·Vᵀ` that the hardware stores alongside `U`
+    /// (Figure 10, step 3).
+    pub fn sigma_vt(&self) -> Matrix {
+        let mut out = self.vt.value().clone();
+        for k in 0..self.rank() {
+            let s = self.sigma.value().at(0, k);
+            for c in 0..out.cols() {
+                out.set(k, c, out.at(k, c) * s);
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the equivalent dense weight matrix `U·diag(σ)·Vᵀ`.
+    pub fn to_dense(&self) -> Matrix {
+        self.u
+            .value()
+            .matmul(&self.sigma_vt())
+            .expect("factor shapes are consistent by construction")
+    }
+
+    /// Mutable access to the `U` parameter (noise injection).
+    pub fn u_param_mut(&mut self) -> &mut Param {
+        &mut self.u
+    }
+
+    /// Mutable access to the `Vᵀ` parameter (noise injection).
+    pub fn vt_param_mut(&mut self) -> &mut Param {
+        &mut self.vt
+    }
+
+    /// Mutable access to the singular-value parameter.
+    pub fn sigma_param_mut(&mut self) -> &mut Param {
+        &mut self.sigma
+    }
+
+    /// Forward pass for a `[L, in]` activation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the underlying matrix products.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let h = x.matmul(self.u.value())?;
+        let scaled = self.scale_by_sigma(&h);
+        let y = scaled.matmul(self.vt.value())?;
+        Ok(y.add_row_broadcast(self.bias.value().row(0))?)
+    }
+
+    /// Backward pass: accumulates gradients on `U`, `σ`, `Vᵀ`, and the bias,
+    /// and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the underlying matrix products.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Result<Matrix> {
+        let h = x.matmul(self.u.value())?; // [L, k]
+        let scaled = self.scale_by_sigma(&h); // h ⊙ σ
+
+        // dL/dVᵀ = (h ⊙ σ)ᵀ · grad_out
+        let d_vt = scaled.transpose().matmul(grad_out)?;
+        self.vt.accumulate_grad(&d_vt);
+
+        // dL/d(h ⊙ σ) = grad_out · V
+        let d_scaled = grad_out.matmul(&self.vt.value().transpose())?; // [L, k]
+
+        // dL/dσ_r = Σ_l d_scaled[l, r] · h[l, r]
+        let mut d_sigma = Matrix::zeros(1, self.rank());
+        for r in 0..h.rows() {
+            for k in 0..self.rank() {
+                d_sigma.set(0, k, d_sigma.at(0, k) + d_scaled.at(r, k) * h.at(r, k));
+            }
+        }
+        self.sigma.accumulate_grad(&d_sigma);
+
+        // dL/dh = d_scaled ⊙ σ
+        let d_h = self.scale_by_sigma(&d_scaled);
+
+        // dL/dU = xᵀ · d_h
+        let d_u = x.transpose().matmul(&d_h)?;
+        self.u.accumulate_grad(&d_u);
+
+        // Bias gradient: column sums of grad_out.
+        let mut d_bias = Matrix::zeros(1, grad_out.cols());
+        for r in 0..grad_out.rows() {
+            for c in 0..grad_out.cols() {
+                d_bias.set(0, c, d_bias.at(0, c) + grad_out.at(r, c));
+            }
+        }
+        self.bias.accumulate_grad(&d_bias);
+
+        // dL/dx = d_h · Uᵀ
+        Ok(d_h.matmul(&self.u.value().transpose())?)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.u.zero_grad();
+        self.sigma.zero_grad();
+        self.vt.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Applies one AdamW step to every factor.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.u.adamw_step(config, batch_size);
+        self.sigma.adamw_step(config, batch_size);
+        self.vt.adamw_step(config, batch_size);
+        self.bias.adamw_step(config, batch_size);
+    }
+
+    /// Number of scalar parameters (factored form).
+    pub fn parameter_count(&self) -> usize {
+        self.u.value().len() + self.sigma.value().len() + self.vt.value().len() + self.bias.value().len()
+    }
+
+    fn scale_by_sigma(&self, h: &Matrix) -> Matrix {
+        let mut out = h.clone();
+        for r in 0..h.rows() {
+            for k in 0..self.rank() {
+                out.set(r, k, h.at(r, k) * self.sigma.value().at(0, k));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyflex_tensor::rng::Rng;
+
+    fn random_weight(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::random_normal(rows, cols, 0.0, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn full_rank_factorization_reproduces_dense_layer() {
+        let w = random_weight(10, 6, 1);
+        let dense = Linear::from_weight(w.clone());
+        let factored = FactoredLinear::from_dense(&dense, 0).unwrap();
+        assert_eq!(factored.rank(), 6);
+        let mut rng = Rng::seed_from(2);
+        let x = Matrix::random_normal(3, 10, 0.0, 1.0, &mut rng);
+        let dense_out = dense.forward(&x).unwrap();
+        let factored_out = factored.forward(&x).unwrap();
+        assert!(dense_out.approx_eq(&factored_out, 1e-3));
+        assert!(factored.to_dense().approx_eq(&w, 1e-3));
+    }
+
+    #[test]
+    fn truncation_reduces_rank_and_parameters_at_hard_threshold() {
+        let w = random_weight(64, 256, 3);
+        let factored = FactoredLinear::from_weight_hard_threshold(&w).unwrap();
+        let expected_rank = hard_threshold_rank(64, 256);
+        assert_eq!(factored.rank(), expected_rank);
+        // Parameter count (excluding sigma and bias bookkeeping) stays at or
+        // below the dense count — the paper's cost-neutrality argument.
+        let dense_params = 64 * 256;
+        let factored_core = factored.u().len() + factored.vt().len();
+        assert!(factored_core <= dense_params);
+    }
+
+    #[test]
+    fn sigma_vt_combines_scale_into_right_factor() {
+        let w = random_weight(8, 5, 4);
+        let f = FactoredLinear::from_weight(&w, 4).unwrap();
+        let reconstructed = f.u().matmul(&f.sigma_vt()).unwrap();
+        assert!(reconstructed.approx_eq(&f.to_dense(), 1e-4));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let w = random_weight(6, 4, 5);
+        let mut f = FactoredLinear::from_weight(&w, 3).unwrap();
+        let mut rng = Rng::seed_from(6);
+        let x = Matrix::random_normal(2, 6, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        let d_input = f.backward(&x, &upstream).unwrap();
+        let probe = f.clone();
+        let loss =
+            |input: &Matrix| -> f32 { probe.forward(input).unwrap().hadamard(&upstream).unwrap().sum() };
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-3);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-3);
+                let numeric = (loss(&plus) - loss(&minus)) / 2e-3;
+                assert!((d_input.at(r, c) - numeric).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_gradient_matches_finite_difference() {
+        let w = random_weight(6, 5, 7);
+        let mut f = FactoredLinear::from_weight(&w, 4).unwrap();
+        let mut rng = Rng::seed_from(8);
+        let x = Matrix::random_normal(3, 6, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::random_normal(3, 5, 0.0, 1.0, &mut rng);
+        f.backward(&x, &upstream).unwrap();
+        let analytic: Vec<f32> = f.sigma.grad().row(0).to_vec();
+        for k in 0..f.rank() {
+            let numeric = {
+                let mut plus = f.clone();
+                let v = plus.sigma.value().at(0, k) + 1e-3;
+                plus.sigma.value_mut().set(0, k, v);
+                let mut minus = f.clone();
+                let v = minus.sigma.value().at(0, k) - 1e-3;
+                minus.sigma.value_mut().set(0, k, v);
+                let loss_p = plus.forward(&x).unwrap().hadamard(&upstream).unwrap().sum();
+                let loss_m = minus.forward(&x).unwrap().hadamard(&upstream).unwrap().sum();
+                (loss_p - loss_m) / 2e-3
+            };
+            assert!(
+                (analytic[k] - numeric).abs() < 2e-2,
+                "sigma grad[{k}]: {} vs {}",
+                analytic[k],
+                numeric
+            );
+        }
+        // The public accessor exposes the absolute values.
+        let abs: Vec<f64> = f.sigma_gradients();
+        for (a, b) in abs.iter().zip(analytic.iter()) {
+            assert!((a - f64::from(b.abs())).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn training_the_factored_layer_reduces_loss() {
+        let w = random_weight(4, 1, 9);
+        let mut f = FactoredLinear::from_weight(&w, 2).unwrap();
+        let config = AdamWConfig {
+            learning_rate: 0.02,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        let mut rng = Rng::seed_from(10);
+        let inputs: Vec<Matrix> = (0..16)
+            .map(|_| Matrix::random_normal(1, 4, 0.0, 1.0, &mut rng))
+            .collect();
+        let targets: Vec<f32> = inputs.iter().map(|x| 2.0 * x.at(0, 0) - x.at(0, 3)).collect();
+        let loss_of = |f: &FactoredLinear| -> f32 {
+            inputs
+                .iter()
+                .zip(targets.iter())
+                .map(|(x, t)| {
+                    let y = f.forward(x).unwrap().at(0, 0);
+                    (y - t) * (y - t)
+                })
+                .sum::<f32>()
+                / inputs.len() as f32
+        };
+        let initial = loss_of(&f);
+        for _ in 0..300 {
+            f.zero_grad();
+            for (x, t) in inputs.iter().zip(targets.iter()) {
+                let y = f.forward(x).unwrap();
+                let grad = Matrix::filled(1, 1, 2.0 * (y.at(0, 0) - t));
+                f.backward(x, &grad).unwrap();
+            }
+            f.step(&config, inputs.len());
+        }
+        let trained = loss_of(&f);
+        assert!(trained < initial * 0.2, "{initial} -> {trained}");
+    }
+
+    #[test]
+    fn rank_is_clamped_to_full_rank() {
+        let w = random_weight(5, 3, 11);
+        let f = FactoredLinear::from_weight(&w, 100).unwrap();
+        assert_eq!(f.rank(), 3);
+        assert_eq!(f.in_dim(), 5);
+        assert_eq!(f.out_dim(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! Position-wise feed-forward network (FFN1 → GELU → FFN2).
+//!
+//! The two FFN matrices dominate the weight volume and MAC count of a
+//! transformer at short-to-moderate sequence lengths (paper Figure 2), which
+//! is why HyFlexPIM's gains over attention-only accelerators such as SPRINT
+//! are largest in that regime.
+
+use crate::layers::{AnyLinear, Linear};
+use crate::param::AdamWConfig;
+use crate::Result;
+use hyflex_tensor::activations::{gelu, gelu_derivative};
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Two-layer feed-forward block with GELU activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedForward {
+    fc1: AnyLinear,
+    fc2: AnyLinear,
+}
+
+impl FeedForward {
+    /// Creates an FFN mapping `dim → ffn_dim → dim`.
+    pub fn new(dim: usize, ffn_dim: usize, rng: &mut Rng) -> Self {
+        FeedForward {
+            fc1: AnyLinear::Dense(Linear::new(dim, ffn_dim, rng)),
+            fc2: AnyLinear::Dense(Linear::new(ffn_dim, dim, rng)),
+        }
+    }
+
+    /// Model (outer) dimension.
+    pub fn dim(&self) -> usize {
+        self.fc1.in_dim()
+    }
+
+    /// Inner (expanded) dimension.
+    pub fn ffn_dim(&self) -> usize {
+        self.fc1.out_dim()
+    }
+
+    /// Access to `[FFN1, FFN2]` for factorization and noise injection.
+    pub fn layers_mut(&mut self) -> [&mut AnyLinear; 2] {
+        [&mut self.fc1, &mut self.fc2]
+    }
+
+    /// Immutable access to `[FFN1, FFN2]`.
+    pub fn layers(&self) -> [&AnyLinear; 2] {
+        [&self.fc1, &self.fc2]
+    }
+
+    /// Forward pass over a `[L, dim]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the linear layers.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let hidden = self.fc1.forward(x)?;
+        let activated = hidden.map(gelu);
+        self.fc2.forward(&activated)
+    }
+
+    /// Backward pass: accumulates layer gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the linear layers.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Result<Matrix> {
+        let hidden = self.fc1.forward(x)?;
+        let activated = hidden.map(gelu);
+        let d_activated = self.fc2.backward(&activated, grad_out)?;
+        let d_hidden = d_activated.hadamard(&hidden.map(gelu_derivative))?;
+        self.fc1.backward(x, &d_hidden)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.fc1.zero_grad();
+        self.fc2.zero_grad();
+    }
+
+    /// Applies one AdamW step.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.fc1.step(config, batch_size);
+        self.fc2.step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.fc1.parameter_count() + self.fc2.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_parameter_count() {
+        let mut rng = Rng::seed_from(1);
+        let ffn = FeedForward::new(8, 32, &mut rng);
+        assert_eq!(ffn.dim(), 8);
+        assert_eq!(ffn.ffn_dim(), 32);
+        let x = Matrix::random_normal(3, 8, 0.0, 1.0, &mut rng);
+        let y = ffn.forward(&x).unwrap();
+        assert_eq!(y.shape(), (3, 8));
+        assert_eq!(ffn.parameter_count(), (8 * 32 + 32) + (32 * 8 + 8));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(2);
+        let ffn = FeedForward::new(5, 12, &mut rng);
+        let x = Matrix::random_normal(2, 5, 0.0, 0.8, &mut rng);
+        let upstream = Matrix::random_normal(2, 5, 0.0, 1.0, &mut rng);
+        let mut ffn_mut = ffn.clone();
+        let d_input = ffn_mut.backward(&x, &upstream).unwrap();
+        let loss = |input: &Matrix| -> f32 {
+            ffn.forward(input).unwrap().hadamard(&upstream).unwrap().sum()
+        };
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-2);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-2);
+                let numeric = (loss(&plus) - loss(&minus)) / 2e-2;
+                assert!(
+                    (d_input.at(r, c) - numeric).abs() < 3e-2,
+                    "ffn d_input[{r},{c}]: {} vs {}",
+                    d_input.at(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ffn_layers_can_be_factorized() {
+        let mut rng = Rng::seed_from(3);
+        let mut ffn = FeedForward::new(8, 16, &mut rng);
+        let x = Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng);
+        let dense_out = ffn.forward(&x).unwrap();
+        for layer in ffn.layers_mut() {
+            let full_rank = layer.in_dim().min(layer.out_dim());
+            layer.factorize(full_rank).unwrap();
+        }
+        let factored_out = ffn.forward(&x).unwrap();
+        assert!(dense_out.approx_eq(&factored_out, 1e-2));
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_simple_mapping() {
+        let mut rng = Rng::seed_from(4);
+        let mut ffn = FeedForward::new(4, 16, &mut rng);
+        let config = AdamWConfig {
+            learning_rate: 0.01,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        let inputs: Vec<Matrix> = (0..16)
+            .map(|_| Matrix::random_normal(1, 4, 0.0, 1.0, &mut rng))
+            .collect();
+        // Target: negate the input.
+        let loss_of = |ffn: &FeedForward| -> f32 {
+            inputs
+                .iter()
+                .map(|x| {
+                    let y = ffn.forward(x).unwrap();
+                    y.add(x).unwrap().as_slice().iter().map(|v| v * v).sum::<f32>()
+                })
+                .sum::<f32>()
+                / inputs.len() as f32
+        };
+        let initial = loss_of(&ffn);
+        for _ in 0..150 {
+            ffn.zero_grad();
+            for x in &inputs {
+                let y = ffn.forward(x).unwrap();
+                let grad = y.add(x).unwrap().scale(2.0);
+                ffn.backward(x, &grad).unwrap();
+            }
+            ffn.step(&config, inputs.len());
+        }
+        let trained = loss_of(&ffn);
+        assert!(trained < initial * 0.5, "{initial} -> {trained}");
+    }
+}

@@ -1,0 +1,621 @@
+//! Basic trainable layers: linear, layer normalization, and embeddings.
+
+use crate::error::ModelError;
+use crate::factored::FactoredLinear;
+use crate::param::{AdamWConfig, Param};
+use crate::Result;
+use hyflex_tensor::activations;
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A dense affine layer `y = x · W + b` with `W` of shape `[in, out]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: Param::new(Matrix::xavier(in_dim, out_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+        }
+    }
+
+    /// Creates a layer from an explicit weight matrix (bias zero).
+    pub fn from_weight(weight: Matrix) -> Self {
+        let out = weight.cols();
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(Matrix::zeros(1, out)),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value().rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value().cols()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        self.weight.value()
+    }
+
+    /// Mutable access to the weight parameter (noise injection, re-mapping).
+    pub fn weight_param_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The weight parameter (gradient inspection).
+    pub fn weight_param(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Forward pass for a `[L, in]` activation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not have `in_dim` columns.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let y = x.matmul(self.weight.value())?;
+        Ok(y.add_row_broadcast(self.bias.value().row(0))?)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` and `grad_out` disagree with the layer.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Result<Matrix> {
+        let d_weight = x.transpose().matmul(grad_out)?;
+        self.weight.accumulate_grad(&d_weight);
+        let mut d_bias = Matrix::zeros(1, grad_out.cols());
+        for r in 0..grad_out.rows() {
+            for c in 0..grad_out.cols() {
+                d_bias.set(0, c, d_bias.at(0, c) + grad_out.at(r, c));
+            }
+        }
+        self.bias.accumulate_grad(&d_bias);
+        Ok(grad_out.matmul(&self.weight.value().transpose())?)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Applies one AdamW step.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.weight.adamw_step(config, batch_size);
+        self.bias.adamw_step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.value().len() + self.bias.value().len()
+    }
+}
+
+/// Either a dense linear layer or its truncated-SVD factored replacement.
+///
+/// The gradient-redistribution pipeline converts selected `Dense` layers to
+/// `Factored` in place; every consumer (attention, FFN, model) goes through
+/// this enum so the swap is transparent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnyLinear {
+    /// A standard dense layer.
+    Dense(Linear),
+    /// A truncated-SVD factored layer (`x·U·diag(σ)·Vᵀ + b`).
+    Factored(FactoredLinear),
+}
+
+impl AnyLinear {
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.in_dim(),
+            AnyLinear::Factored(f) => f.in_dim(),
+        }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.out_dim(),
+            AnyLinear::Factored(f) => f.out_dim(),
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layer.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        match self {
+            AnyLinear::Dense(l) => l.forward(x),
+            AnyLinear::Factored(f) => f.forward(x),
+        }
+    }
+
+    /// Backward pass returning `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying layer.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Result<Matrix> {
+        match self {
+            AnyLinear::Dense(l) => l.backward(x, grad_out),
+            AnyLinear::Factored(f) => f.backward(x, grad_out),
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        match self {
+            AnyLinear::Dense(l) => l.zero_grad(),
+            AnyLinear::Factored(f) => f.zero_grad(),
+        }
+    }
+
+    /// Applies one AdamW step.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        match self {
+            AnyLinear::Dense(l) => l.step(config, batch_size),
+            AnyLinear::Factored(f) => f.step(config, batch_size),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.parameter_count(),
+            AnyLinear::Factored(f) => f.parameter_count(),
+        }
+    }
+
+    /// Converts a dense layer into its hard-threshold factored form in place.
+    ///
+    /// No-op if the layer is already factored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD errors.
+    pub fn factorize(&mut self, rank: usize) -> Result<()> {
+        if let AnyLinear::Dense(l) = self {
+            let factored = FactoredLinear::from_dense(l, rank)?;
+            *self = AnyLinear::Factored(factored);
+        }
+        Ok(())
+    }
+
+    /// Returns the factored layer, if this is one.
+    pub fn as_factored(&self) -> Option<&FactoredLinear> {
+        match self {
+            AnyLinear::Factored(f) => Some(f),
+            AnyLinear::Dense(_) => None,
+        }
+    }
+
+    /// Returns the factored layer mutably, if this is one.
+    pub fn as_factored_mut(&mut self) -> Option<&mut FactoredLinear> {
+        match self {
+            AnyLinear::Factored(f) => Some(f),
+            AnyLinear::Dense(_) => None,
+        }
+    }
+
+    /// Returns the dense layer mutably, if this is one.
+    pub fn as_dense_mut(&mut self) -> Option<&mut Linear> {
+        match self {
+            AnyLinear::Dense(l) => Some(l),
+            AnyLinear::Factored(_) => None,
+        }
+    }
+}
+
+/// Layer normalization with learned scale and shift, applied to each row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    epsilon: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Matrix::filled(1, dim, 1.0)),
+            beta: Param::new(Matrix::zeros(1, dim)),
+            epsilon: 1e-5,
+        }
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.gamma.value().cols()
+    }
+
+    /// Forward pass over a `[L, dim]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the column count differs from the layer dimension.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.dim() {
+            return Err(ModelError::InvalidInput(format!(
+                "layer norm expected {} columns, got {}",
+                self.dim(),
+                x.cols()
+            )));
+        }
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            let normalized = activations::layer_norm(
+                x.row(r),
+                self.gamma.value().row(0),
+                self.beta.value().row(0),
+                self.epsilon,
+            );
+            out.row_mut(r).copy_from_slice(&normalized.output);
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: accumulates gamma/beta gradients, returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Result<Matrix> {
+        if x.shape() != grad_out.shape() {
+            return Err(ModelError::InvalidInput(
+                "layer norm backward shape mismatch".to_string(),
+            ));
+        }
+        let mut d_input = Matrix::zeros(x.rows(), x.cols());
+        let mut d_gamma = Matrix::zeros(1, x.cols());
+        let mut d_beta = Matrix::zeros(1, x.cols());
+        for r in 0..x.rows() {
+            let forward = activations::layer_norm(
+                x.row(r),
+                self.gamma.value().row(0),
+                self.beta.value().row(0),
+                self.epsilon,
+            );
+            let grads =
+                activations::layer_norm_backward(&forward, self.gamma.value().row(0), grad_out.row(r));
+            d_input.row_mut(r).copy_from_slice(&grads.d_input);
+            for c in 0..x.cols() {
+                d_gamma.set(0, c, d_gamma.at(0, c) + grads.d_gamma[c]);
+                d_beta.set(0, c, d_beta.at(0, c) + grads.d_beta[c]);
+            }
+        }
+        self.gamma.accumulate_grad(&d_gamma);
+        self.beta.accumulate_grad(&d_beta);
+        Ok(d_input)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gamma.zero_grad();
+        self.beta.zero_grad();
+    }
+
+    /// Applies one AdamW step.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.gamma.adamw_step(config, batch_size);
+        self.beta.adamw_step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        2 * self.dim()
+    }
+}
+
+/// Token embedding plus learned positional embedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    table: Param,
+    positions: Param,
+}
+
+impl Embedding {
+    /// Creates embeddings for `vocab_size` tokens, `max_len` positions, and
+    /// hidden size `dim`.
+    pub fn new(vocab_size: usize, max_len: usize, dim: usize, rng: &mut Rng) -> Self {
+        Embedding {
+            table: Param::new(Matrix::random_normal(vocab_size, dim, 0.0, 0.02, rng)),
+            positions: Param::new(Matrix::random_normal(max_len, dim, 0.0, 0.02, rng)),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.table.value().rows()
+    }
+
+    /// Maximum sequence length.
+    pub fn max_len(&self) -> usize {
+        self.positions.value().rows()
+    }
+
+    /// Hidden dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value().cols()
+    }
+
+    /// Looks up the embeddings for a token sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-vocabulary tokens or too-long sequences.
+    pub fn forward(&self, tokens: &[usize]) -> Result<Matrix> {
+        if tokens.is_empty() {
+            return Err(ModelError::InvalidInput("empty token sequence".into()));
+        }
+        if tokens.len() > self.max_len() {
+            return Err(ModelError::InvalidInput(format!(
+                "sequence of length {} exceeds maximum {}",
+                tokens.len(),
+                self.max_len()
+            )));
+        }
+        let dim = self.dim();
+        let mut out = Matrix::zeros(tokens.len(), dim);
+        for (i, &tok) in tokens.iter().enumerate() {
+            if tok >= self.vocab_size() {
+                return Err(ModelError::InvalidInput(format!(
+                    "token {tok} out of vocabulary ({})",
+                    self.vocab_size()
+                )));
+            }
+            for c in 0..dim {
+                out.set(i, c, self.table.value().at(tok, c) + self.positions.value().at(i, c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Accumulates gradients for the looked-up rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gradient shape does not match the lookup.
+    pub fn backward(&mut self, tokens: &[usize], grad_out: &Matrix) -> Result<()> {
+        if grad_out.rows() != tokens.len() || grad_out.cols() != self.dim() {
+            return Err(ModelError::InvalidInput(
+                "embedding backward shape mismatch".to_string(),
+            ));
+        }
+        for (i, &tok) in tokens.iter().enumerate() {
+            for c in 0..self.dim() {
+                let g = grad_out.at(i, c);
+                let t = self.table.grad_mut().at(tok, c) + g;
+                self.table.grad_mut().set(tok, c, t);
+                let p = self.positions.grad_mut().at(i, c) + g;
+                self.positions.grad_mut().set(i, c, p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.table.zero_grad();
+        self.positions.zero_grad();
+    }
+
+    /// Applies one AdamW step.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.table.adamw_step(config, batch_size);
+        self.positions.adamw_step(config, batch_size);
+    }
+
+    /// Number of scalar parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.table.value().len() + self.positions.value().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_difference_check<F>(f: F, x: &Matrix, analytic: &Matrix, tol: f32)
+    where
+        F: Fn(&Matrix) -> f32,
+    {
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let mut plus = x.clone();
+                plus.set(r, c, x.at(r, c) + 1e-3);
+                let mut minus = x.clone();
+                minus.set(r, c, x.at(r, c) - 1e-3);
+                let numeric = (f(&plus) - f(&minus)) / 2e-3;
+                assert!(
+                    (analytic.at(r, c) - numeric).abs() < tol,
+                    "grad[{r},{c}]: {} vs {}",
+                    analytic.at(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_forward_matches_manual_computation() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let layer = Linear::from_weight(w);
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, -1.0]]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.shape(), (1, 2));
+        assert_eq!(y.at(0, 0), -4.0);
+        assert_eq!(y.at(0, 1), -4.0);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 2);
+        assert_eq!(layer.parameter_count(), 8);
+    }
+
+    #[test]
+    fn linear_input_gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(1);
+        let layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let loss = |input: &Matrix| -> f32 {
+            layer
+                .forward(input)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
+        let d_input = {
+            let mut l = layer.clone();
+            l.backward(&x, &upstream).unwrap()
+        };
+        finite_difference_check(loss, &x, &d_input, 1e-2);
+    }
+
+    #[test]
+    fn linear_weight_gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(2);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let x = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng);
+        layer.backward(&x, &upstream).unwrap();
+        let analytic = layer.weight_param().grad().clone();
+        let base_weight = layer.weight().clone();
+        let loss = |w: &Matrix| -> f32 {
+            let probe = Linear::from_weight(w.clone());
+            probe
+                .forward(&x)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
+        finite_difference_check(loss, &base_weight, &analytic, 1e-2);
+    }
+
+    #[test]
+    fn any_linear_factorize_round_trip() {
+        let mut rng = Rng::seed_from(3);
+        let mut layer = AnyLinear::Dense(Linear::new(8, 6, &mut rng));
+        let x = Matrix::random_normal(2, 8, 0.0, 1.0, &mut rng);
+        let dense_out = layer.forward(&x).unwrap();
+        layer.factorize(6).unwrap();
+        assert!(layer.as_factored().is_some());
+        let factored_out = layer.forward(&x).unwrap();
+        // Full-rank factorization reproduces the dense output.
+        assert!(dense_out.approx_eq(&factored_out, 1e-3));
+        // Factorizing again is a no-op.
+        layer.factorize(3).unwrap();
+        assert_eq!(layer.as_factored().unwrap().rank(), 6);
+    }
+
+    #[test]
+    fn layer_norm_forward_normalizes_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0, 4.0], vec![-1.0, 0.0, 1.0, 2.0]]).unwrap();
+        let y = ln.forward(&x).unwrap();
+        for r in 0..2 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+        assert!(ln.forward(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_difference() {
+        let mut rng = Rng::seed_from(4);
+        let mut ln = LayerNorm::new(5);
+        let x = Matrix::random_normal(3, 5, 0.0, 1.0, &mut rng);
+        let upstream = Matrix::random_normal(3, 5, 0.0, 1.0, &mut rng);
+        let d_input = ln.backward(&x, &upstream).unwrap();
+        let probe = LayerNorm::new(5);
+        let loss =
+            |input: &Matrix| -> f32 { probe.forward(input).unwrap().hadamard(&upstream).unwrap().sum() };
+        finite_difference_check(loss, &x, &d_input, 2e-2);
+    }
+
+    #[test]
+    fn embedding_lookup_and_bounds() {
+        let mut rng = Rng::seed_from(5);
+        let emb = Embedding::new(10, 6, 4, &mut rng);
+        let out = emb.forward(&[1, 3, 5]).unwrap();
+        assert_eq!(out.shape(), (3, 4));
+        assert!(emb.forward(&[11]).is_err());
+        assert!(emb.forward(&[]).is_err());
+        assert!(emb.forward(&[0; 7]).is_err());
+        assert_eq!(emb.parameter_count(), 10 * 4 + 6 * 4);
+    }
+
+    #[test]
+    fn embedding_backward_accumulates_into_looked_up_rows() {
+        let mut rng = Rng::seed_from(6);
+        let mut emb = Embedding::new(5, 4, 3, &mut rng);
+        let tokens = [2usize, 2, 4];
+        let grad = Matrix::filled(3, 3, 1.0);
+        emb.backward(&tokens, &grad).unwrap();
+        // Token 2 appears twice: its gradient row should be 2.0 everywhere.
+        // Access through a step: after zero_grad the update disappears.
+        emb.step(&AdamWConfig::default(), 1);
+        emb.zero_grad();
+        assert!(emb.backward(&tokens, &Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn training_a_linear_layer_reduces_loss() {
+        let mut rng = Rng::seed_from(7);
+        let mut layer = Linear::new(4, 1, &mut rng);
+        let config = AdamWConfig {
+            learning_rate: 0.01,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        // Learn y = sum(x).
+        let inputs: Vec<Matrix> = (0..32)
+            .map(|_| Matrix::random_normal(1, 4, 0.0, 1.0, &mut rng))
+            .collect();
+        let targets: Vec<f32> = inputs.iter().map(|x| x.sum()).collect();
+        let loss_of = |layer: &Linear| -> f32 {
+            inputs
+                .iter()
+                .zip(targets.iter())
+                .map(|(x, t)| {
+                    let y = layer.forward(x).unwrap().at(0, 0);
+                    (y - t) * (y - t)
+                })
+                .sum::<f32>()
+                / inputs.len() as f32
+        };
+        let initial = loss_of(&layer);
+        for _ in 0..200 {
+            layer.zero_grad();
+            for (x, t) in inputs.iter().zip(targets.iter()) {
+                let y = layer.forward(x).unwrap();
+                let grad = Matrix::filled(1, 1, 2.0 * (y.at(0, 0) - t));
+                layer.backward(x, &grad).unwrap();
+            }
+            layer.step(&config, inputs.len());
+        }
+        let trained = loss_of(&layer);
+        assert!(
+            trained < initial * 0.1,
+            "training failed: {initial} -> {trained}"
+        );
+    }
+}

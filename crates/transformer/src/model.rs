@@ -1,0 +1,379 @@
+//! End-to-end transformer models: embeddings, block stack, and task head.
+
+use crate::block::TransformerBlock;
+use crate::config::{ModelConfig, ModelKind, TaskKind};
+use crate::error::ModelError;
+use crate::layers::{AnyLinear, Embedding, LayerNorm, Linear};
+use crate::param::AdamWConfig;
+use crate::Result;
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Input to a transformer model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelInput {
+    /// A sequence of token ids (encoder / decoder models).
+    Tokens(Vec<usize>),
+    /// A matrix of patch/feature vectors, one row per position (vision models).
+    Features(Matrix),
+}
+
+impl ModelInput {
+    /// Sequence length of the input.
+    pub fn len(&self) -> usize {
+        match self {
+            ModelInput::Tokens(t) => t.len(),
+            ModelInput::Features(f) => f.rows(),
+        }
+    }
+
+    /// Whether the input is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete transformer model instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerModel {
+    config: ModelConfig,
+    embedding: Option<Embedding>,
+    patch_proj: Option<Linear>,
+    blocks: Vec<TransformerBlock>,
+    final_norm: LayerNorm,
+    head: Linear,
+}
+
+impl TransformerModel {
+    /// Builds a randomly initialized model from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] for inconsistent configurations.
+    pub fn new(config: ModelConfig, rng: &mut Rng) -> Result<Self> {
+        config.validate()?;
+        let (embedding, patch_proj) = match config.kind {
+            ModelKind::VisionEncoder => {
+                let patch_dim = config
+                    .patch_dim
+                    .ok_or_else(|| ModelError::InvalidConfig("missing patch_dim".into()))?;
+                (None, Some(Linear::new(patch_dim, config.hidden_dim, rng)))
+            }
+            _ => (
+                Some(Embedding::new(
+                    config.vocab_size,
+                    config.max_seq_len,
+                    config.hidden_dim,
+                    rng,
+                )),
+                None,
+            ),
+        };
+        let blocks = (0..config.num_layers)
+            .map(|_| TransformerBlock::new(config.hidden_dim, config.ffn_dim, config.num_heads, rng))
+            .collect::<Result<Vec<_>>>()?;
+        let head_outputs = config.task.head_outputs(config.vocab_size);
+        Ok(TransformerModel {
+            final_norm: LayerNorm::new(config.hidden_dim),
+            head: Linear::new(config.hidden_dim, head_outputs, rng),
+            embedding,
+            patch_proj,
+            blocks,
+            config,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The transformer blocks.
+    pub fn blocks(&self) -> &[TransformerBlock] {
+        &self.blocks
+    }
+
+    /// Mutable access to every static linear layer of every block, in
+    /// `(layer_index, [W_Q, W_K, W_V, W_proj, FFN1, FFN2])` order, flattened.
+    ///
+    /// This is the hook the gradient-redistribution pipeline uses to
+    /// factorize layers and to inject hardware noise.
+    pub fn static_linears_mut(&mut self) -> Vec<&mut AnyLinear> {
+        self.blocks
+            .iter_mut()
+            .flat_map(|b| b.static_linears_mut())
+            .collect()
+    }
+
+    /// Immutable access to every static linear layer.
+    pub fn static_linears(&self) -> Vec<&AnyLinear> {
+        self.blocks.iter().flat_map(|b| b.static_linears()).collect()
+    }
+
+    /// Total scalar parameter count.
+    pub fn parameter_count(&self) -> usize {
+        let mut count: usize = self.blocks.iter().map(|b| b.parameter_count()).sum();
+        count += self.final_norm.parameter_count() + self.head.parameter_count();
+        if let Some(e) = &self.embedding {
+            count += e.parameter_count();
+        }
+        if let Some(p) = &self.patch_proj {
+            count += p.parameter_count();
+        }
+        count
+    }
+
+    fn embed(&self, input: &ModelInput) -> Result<Matrix> {
+        match (input, &self.embedding, &self.patch_proj) {
+            (ModelInput::Tokens(tokens), Some(embedding), _) => embedding.forward(tokens),
+            (ModelInput::Features(features), _, Some(proj)) => {
+                if features.rows() > self.config.max_seq_len {
+                    return Err(ModelError::InvalidInput(format!(
+                        "{} patches exceed maximum {}",
+                        features.rows(),
+                        self.config.max_seq_len
+                    )));
+                }
+                proj.forward(features)
+            }
+            (ModelInput::Tokens(_), None, _) => Err(ModelError::InvalidInput(
+                "vision model cannot consume token input".to_string(),
+            )),
+            (ModelInput::Features(_), _, None) => Err(ModelError::InvalidInput(
+                "token model cannot consume feature input".to_string(),
+            )),
+        }
+    }
+
+    /// Runs the model and returns the task logits.
+    ///
+    /// * Classification / regression: a `[1, outputs]` row (mean-pooled).
+    /// * Language modeling: a `[L, vocab]` matrix of next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns input/shape errors.
+    pub fn forward(&self, input: &ModelInput) -> Result<Matrix> {
+        let causal = self.config.is_causal();
+        let mut x = self.embed(input)?;
+        for block in &self.blocks {
+            x = block.forward(&x, causal)?;
+        }
+        let hidden = self.final_norm.forward(&x)?;
+        match self.config.task {
+            TaskKind::LanguageModeling => self.head.forward(&hidden),
+            _ => {
+                let pooled = mean_pool(&hidden);
+                self.head.forward(&pooled)
+            }
+        }
+    }
+
+    /// Runs the model, then back-propagates `d_logits`, accumulating
+    /// gradients in every layer. Returns the forward logits so callers can
+    /// compute the loss once.
+    ///
+    /// # Errors
+    ///
+    /// Returns input/shape errors.
+    pub fn forward_backward(&mut self, input: &ModelInput, d_logits_of: &mut dyn FnMut(&Matrix) -> Matrix) -> Result<(Matrix, Matrix)> {
+        let causal = self.config.is_causal();
+        // Forward, caching each block input.
+        let x0 = self.embed(input)?;
+        let mut block_inputs = Vec::with_capacity(self.blocks.len());
+        let mut x = x0.clone();
+        for block in &self.blocks {
+            block_inputs.push(x.clone());
+            x = block.forward(&x, causal)?;
+        }
+        let hidden = self.final_norm.forward(&x)?;
+        let (logits, pooled) = match self.config.task {
+            TaskKind::LanguageModeling => (self.head.forward(&hidden)?, None),
+            _ => {
+                let pooled = mean_pool(&hidden);
+                (self.head.forward(&pooled)?, Some(pooled))
+            }
+        };
+
+        let d_logits = d_logits_of(&logits);
+
+        // Backward through the head.
+        let d_hidden = match (&self.config.task, pooled) {
+            (TaskKind::LanguageModeling, _) => self.head.backward(&hidden, &d_logits)?,
+            (_, Some(pooled)) => {
+                let d_pooled = self.head.backward(&pooled, &d_logits)?;
+                // Mean pooling broadcast: every row receives d_pooled / L.
+                let len = hidden.rows() as f32;
+                let mut d_hidden = Matrix::zeros(hidden.rows(), hidden.cols());
+                for r in 0..hidden.rows() {
+                    for c in 0..hidden.cols() {
+                        d_hidden.set(r, c, d_pooled.at(0, c) / len);
+                    }
+                }
+                d_hidden
+            }
+            (_, None) => unreachable!("pooled is always present for non-LM tasks"),
+        };
+
+        // Backward through the final layer norm and the block stack.
+        let mut d_x = self.final_norm.backward(&x, &d_hidden)?;
+        for (block, block_input) in self.blocks.iter_mut().zip(block_inputs.iter()).rev() {
+            d_x = block.backward(block_input, &d_x, causal)?;
+        }
+
+        // Backward into the embedding / patch projection.
+        match (input, &mut self.embedding, &mut self.patch_proj) {
+            (ModelInput::Tokens(tokens), Some(embedding), _) => {
+                embedding.backward(tokens, &d_x)?;
+            }
+            (ModelInput::Features(features), _, Some(proj)) => {
+                proj.backward(features, &d_x)?;
+            }
+            _ => {}
+        }
+        Ok((logits, d_logits))
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        if let Some(e) = &mut self.embedding {
+            e.zero_grad();
+        }
+        if let Some(p) = &mut self.patch_proj {
+            p.zero_grad();
+        }
+        for block in &mut self.blocks {
+            block.zero_grad();
+        }
+        self.final_norm.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Applies one AdamW step to every parameter.
+    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        if let Some(e) = &mut self.embedding {
+            e.step(config, batch_size);
+        }
+        if let Some(p) = &mut self.patch_proj {
+            p.step(config, batch_size);
+        }
+        for block in &mut self.blocks {
+            block.step(config, batch_size);
+        }
+        self.final_norm.step(config, batch_size);
+        self.head.step(config, batch_size);
+    }
+}
+
+fn mean_pool(hidden: &Matrix) -> Matrix {
+    let mut pooled = Matrix::zeros(1, hidden.cols());
+    for c in 0..hidden.cols() {
+        let mut acc = 0.0f32;
+        for r in 0..hidden.rows() {
+            acc += hidden.at(r, c);
+        }
+        pooled.set(0, c, acc / hidden.rows() as f32);
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model(seed: u64) -> TransformerModel {
+        let mut rng = Rng::seed_from(seed);
+        TransformerModel::new(ModelConfig::tiny_encoder(3), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn classification_forward_produces_one_row_of_logits() {
+        let model = tiny_model(1);
+        let logits = model.forward(&ModelInput::Tokens(vec![1, 5, 9, 2])).unwrap();
+        assert_eq!(logits.shape(), (1, 3));
+    }
+
+    #[test]
+    fn lm_forward_produces_per_position_logits() {
+        let mut rng = Rng::seed_from(2);
+        let model = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
+        let logits = model.forward(&ModelInput::Tokens(vec![3, 1, 4, 1, 5])).unwrap();
+        assert_eq!(logits.shape(), (5, 64));
+    }
+
+    #[test]
+    fn vision_forward_consumes_patch_features() {
+        let mut rng = Rng::seed_from(3);
+        let config = ModelConfig::tiny_vit(10);
+        let model = TransformerModel::new(config, &mut rng).unwrap();
+        let patches = Matrix::random_normal(9, 24, 0.0, 1.0, &mut rng);
+        let logits = model.forward(&ModelInput::Features(patches)).unwrap();
+        assert_eq!(logits.shape(), (1, 10));
+        // Token input into a vision model is rejected.
+        assert!(model.forward(&ModelInput::Tokens(vec![1])).is_err());
+    }
+
+    #[test]
+    fn token_model_rejects_feature_input_and_bad_tokens() {
+        let model = tiny_model(4);
+        assert!(model
+            .forward(&ModelInput::Features(Matrix::zeros(2, 2)))
+            .is_err());
+        assert!(model.forward(&ModelInput::Tokens(vec![1000])).is_err());
+        assert!(model
+            .forward(&ModelInput::Tokens(vec![0; 17]))
+            .is_err());
+    }
+
+    #[test]
+    fn static_linears_exposes_six_layers_per_block() {
+        let mut model = tiny_model(5);
+        assert_eq!(model.static_linears().len(), 2 * 6);
+        assert_eq!(model.static_linears_mut().len(), 2 * 6);
+    }
+
+    #[test]
+    fn parameter_count_is_consistent_with_config_estimate() {
+        let model = tiny_model(6);
+        let approx = model.config().approx_total_params();
+        let exact = model.parameter_count();
+        let ratio = exact as f64 / approx as f64;
+        assert!(ratio > 0.7 && ratio < 1.5, "exact {exact}, approx {approx}");
+    }
+
+    #[test]
+    fn forward_backward_returns_logits_and_accumulates_grads() {
+        let mut model = tiny_model(7);
+        let input = ModelInput::Tokens(vec![1, 2, 3]);
+        let (logits, d_logits) = model
+            .forward_backward(&input, &mut |logits: &Matrix| logits.scale(1.0))
+            .unwrap();
+        assert_eq!(logits.shape(), (1, 3));
+        assert_eq!(d_logits.shape(), (1, 3));
+        // The head weight gradient should now be non-zero.
+        let any_grad = model
+            .static_linears()
+            .iter()
+            .any(|l| match l {
+                AnyLinear::Dense(d) => d.weight_param().grad().max_abs() > 0.0,
+                AnyLinear::Factored(_) => false,
+            });
+        assert!(any_grad, "expected gradients to accumulate in block layers");
+    }
+
+    #[test]
+    fn model_input_len_helpers() {
+        assert_eq!(ModelInput::Tokens(vec![1, 2]).len(), 2);
+        assert!(!ModelInput::Tokens(vec![1]).is_empty());
+        assert_eq!(ModelInput::Features(Matrix::zeros(3, 2)).len(), 3);
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected_at_construction() {
+        let mut rng = Rng::seed_from(8);
+        let mut config = ModelConfig::tiny_encoder(2);
+        config.num_heads = 3;
+        assert!(TransformerModel::new(config, &mut rng).is_err());
+    }
+}

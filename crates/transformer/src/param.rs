@@ -1,0 +1,245 @@
+//! Trainable parameters and the AdamW update rule.
+//!
+//! Every layer owns its parameters as [`Param`] values: the weight matrix, an
+//! accumulated gradient, and the AdamW first/second-moment state. The trainer
+//! drives the generic `zero_grad` / accumulate / `adamw_step` cycle; the
+//! gradient-redistribution pipeline in `hyflex-pim` additionally reads the
+//! accumulated gradient magnitudes to rank singular values by importance.
+
+use hyflex_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the AdamW optimizer (paper Table 1 uses AdamW for all
+/// fine-tuning runs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamWConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Exponential decay rate for the first moment.
+    pub beta1: f32,
+    /// Exponential decay rate for the second moment.
+    pub beta2: f32,
+    /// Numerical stability constant.
+    pub epsilon: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl AdamWConfig {
+    /// The paper's encoder fine-tuning setting (BERT-Base: lr 2e-5).
+    pub fn with_learning_rate(learning_rate: f32) -> Self {
+        AdamWConfig {
+            learning_rate,
+            ..AdamWConfig::default()
+        }
+    }
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        AdamWConfig {
+            learning_rate: 2e-5,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.01,
+        }
+    }
+}
+
+/// A trainable parameter tensor with gradient and AdamW state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    value: Matrix,
+    grad: Matrix,
+    moment1: Matrix,
+    moment2: Matrix,
+    /// Number of AdamW steps applied (for bias correction).
+    steps: u64,
+    /// Frozen parameters accumulate gradients but are not updated.
+    frozen: bool,
+}
+
+impl Param {
+    /// Wraps a value matrix as a trainable parameter.
+    pub fn new(value: Matrix) -> Self {
+        let (r, c) = value.shape();
+        Param {
+            value,
+            grad: Matrix::zeros(r, c),
+            moment1: Matrix::zeros(r, c),
+            moment2: Matrix::zeros(r, c),
+            steps: 0,
+            frozen: false,
+        }
+    }
+
+    /// The current parameter value.
+    pub fn value(&self) -> &Matrix {
+        &self.value
+    }
+
+    /// Mutable access to the value (used when injecting hardware noise).
+    pub fn value_mut(&mut self) -> &mut Matrix {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Matrix {
+        &self.grad
+    }
+
+    /// Mutable access to the accumulated gradient (used by layers that update
+    /// sparse slices, such as embedding tables).
+    pub fn grad_mut(&mut self) -> &mut Matrix {
+        &mut self.grad
+    }
+
+    /// Whether the parameter is excluded from optimizer updates.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Freezes or unfreezes the parameter.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Adds a gradient contribution (e.g. from one sample of a batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the parameter shape.
+    pub fn accumulate_grad(&mut self, grad: &Matrix) {
+        self.grad
+            .add_assign(grad)
+            .expect("gradient shape must match parameter shape");
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Applies one AdamW update using the accumulated gradient divided by
+    /// `batch_size`.
+    pub fn adamw_step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        if self.frozen {
+            return;
+        }
+        self.steps += 1;
+        let scale = 1.0 / batch_size.max(1) as f32;
+        let t = self.steps as i32;
+        let bias1 = 1.0 - config.beta1.powi(t);
+        let bias2 = 1.0 - config.beta2.powi(t);
+        let n = self.value.len();
+        let value = self.value.as_mut_slice();
+        let grad = self.grad.as_slice();
+        let m = self.moment1.as_mut_slice();
+        let v = self.moment2.as_mut_slice();
+        for i in 0..n {
+            let g = grad[i] * scale;
+            m[i] = config.beta1 * m[i] + (1.0 - config.beta1) * g;
+            v[i] = config.beta2 * v[i] + (1.0 - config.beta2) * g * g;
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            let update = m_hat / (v_hat.sqrt() + config.epsilon);
+            value[i] -= config.learning_rate * (update + config.weight_decay * value[i]);
+        }
+    }
+
+    /// Mean absolute accumulated gradient, a scalar importance signal.
+    pub fn mean_abs_grad(&self) -> f64 {
+        let n = self.grad.len() as f64;
+        self.grad.as_slice().iter().map(|g| g.abs() as f64).sum::<f64>() / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyflex_tensor::rng::Rng;
+
+    #[test]
+    fn adamw_minimizes_a_quadratic() {
+        // Minimize f(w) = 0.5 * ||w - target||^2 with gradient (w - target).
+        let mut rng = Rng::seed_from(1);
+        let target = Matrix::random_normal(4, 4, 0.0, 1.0, &mut rng);
+        let mut param = Param::new(Matrix::zeros(4, 4));
+        let config = AdamWConfig {
+            learning_rate: 0.05,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        for _ in 0..500 {
+            param.zero_grad();
+            let grad = param.value().sub(&target).unwrap();
+            param.accumulate_grad(&grad);
+            param.adamw_step(&config, 1);
+        }
+        let err = param.value().sub(&target).unwrap().max_abs();
+        assert!(err < 0.05, "AdamW failed to converge, err {err}");
+    }
+
+    #[test]
+    fn gradients_accumulate_and_reset() {
+        let mut p = Param::new(Matrix::zeros(2, 2));
+        let g = Matrix::filled(2, 2, 1.0);
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        assert_eq!(p.grad().at(0, 0), 2.0);
+        assert!((p.mean_abs_grad() - 2.0).abs() < 1e-9);
+        p.zero_grad();
+        assert_eq!(p.grad().max_abs(), 0.0);
+    }
+
+    #[test]
+    fn frozen_parameters_do_not_update() {
+        let mut p = Param::new(Matrix::filled(2, 2, 1.0));
+        p.set_frozen(true);
+        p.accumulate_grad(&Matrix::filled(2, 2, 10.0));
+        p.adamw_step(&AdamWConfig::default(), 1);
+        assert!(p.value().approx_eq(&Matrix::filled(2, 2, 1.0), 0.0));
+        assert!(p.is_frozen());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters_without_gradient() {
+        let mut p = Param::new(Matrix::filled(2, 2, 1.0));
+        let config = AdamWConfig {
+            learning_rate: 0.1,
+            weight_decay: 0.5,
+            ..AdamWConfig::default()
+        };
+        p.adamw_step(&config, 1);
+        assert!(p.value().at(0, 0) < 1.0);
+    }
+
+    #[test]
+    fn batch_size_scales_the_gradient() {
+        let config = AdamWConfig {
+            learning_rate: 0.1,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        let mut a = Param::new(Matrix::zeros(1, 1));
+        a.accumulate_grad(&Matrix::filled(1, 1, 4.0));
+        a.adamw_step(&config, 4);
+
+        let mut b = Param::new(Matrix::zeros(1, 1));
+        b.accumulate_grad(&Matrix::filled(1, 1, 1.0));
+        b.adamw_step(&config, 1);
+
+        assert!((a.value().at(0, 0) - b.value().at(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_config_matches_paper_style_settings() {
+        let c = AdamWConfig::default();
+        assert!((c.learning_rate - 2e-5).abs() < 1e-12);
+        assert!(c.beta1 > c.weight_decay);
+        let c2 = AdamWConfig::with_learning_rate(5e-6);
+        assert!((c2.learning_rate - 5e-6).abs() < 1e-12);
+        assert_eq!(c2.beta2, c.beta2);
+    }
+}

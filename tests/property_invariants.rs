@@ -1,0 +1,115 @@
+//! Property-based tests of core invariants, using proptest.
+
+use hyflex_pim::selection::{self, SelectionStrategy};
+use hyflex_rram::cell::CellMode;
+use hyflex_rram::noise::{ber_from_sigma, sigma_from_ber};
+use hyflex_tensor::activations::softmax;
+use hyflex_tensor::quant::QuantizedMatrix;
+use hyflex_tensor::rng::Rng;
+use hyflex_tensor::{svd, Matrix};
+use proptest::prelude::*;
+
+fn arbitrary_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(rows, cols, seed)| {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::random_normal(rows, cols, 0.0, 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The SVD reconstructs any matrix and its singular values are sorted.
+    #[test]
+    fn svd_reconstructs_and_sorts(m in arbitrary_matrix(12)) {
+        let d = svd::svd(&m).unwrap();
+        let reconstructed = d.reconstruct();
+        prop_assert!(m.approx_eq(&reconstructed, 1e-2));
+        for pair in d.singular_values.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-6);
+        }
+    }
+
+    /// Truncated reconstruction error never decreases as rank is reduced.
+    #[test]
+    fn truncation_error_is_monotone(m in arbitrary_matrix(10)) {
+        let d = svd::svd(&m).unwrap();
+        let mut last_err = -1.0f32;
+        for k in (1..=d.rank()).rev() {
+            let err = m.relative_error(&d.truncate(k).unwrap().reconstruct()).unwrap();
+            prop_assert!(err + 1e-4 >= last_err);
+            last_err = err;
+        }
+    }
+
+    /// INT8 quantization keeps every element within one quantization step.
+    #[test]
+    fn quantization_error_is_bounded(m in arbitrary_matrix(16)) {
+        let q = QuantizedMatrix::quantize_int8(&m).unwrap();
+        let deq = q.dequantize();
+        let max_err = m.sub(&deq).unwrap().max_abs();
+        prop_assert!(max_err <= q.scale() * 0.5 + 1e-6);
+    }
+
+    /// Softmax outputs are a probability distribution for any finite logits.
+    #[test]
+    fn softmax_is_a_distribution(values in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+        let p = softmax(&values);
+        prop_assert_eq!(p.len(), values.len());
+        prop_assert!(p.iter().all(|x| (0.0..=1.0).contains(x)));
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    /// The BER model is monotone in sigma and inverts correctly.
+    ///
+    /// The range stays below ~20% because an SLC cell's lowest level has an
+    /// enormous noise margin: its flip probability saturates, so average BERs
+    /// approaching 25% are physically unreachable for SLC.
+    #[test]
+    fn ber_sigma_round_trip(ber in 0.001f64..0.2) {
+        for mode in [CellMode::Slc, CellMode::MLC2] {
+            let sigma = sigma_from_ber(ber, mode).unwrap();
+            let back = ber_from_sigma(sigma, mode);
+            prop_assert!((back - ber).abs() < 1e-3);
+        }
+    }
+
+    /// The matrix product is associative within floating-point tolerance.
+    #[test]
+    fn matmul_is_associative(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Matrix::random_normal(4, 6, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(6, 5, 0.0, 1.0, &mut rng);
+        let c = Matrix::random_normal(5, 3, 0.0, 1.0, &mut rng);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-3));
+    }
+
+    /// Rank selection always protects exactly the requested number of ranks
+    /// (and at least one when the rate is non-zero), for every strategy.
+    #[test]
+    fn rank_selection_counts_are_exact(rank in 1usize..128, rate in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let profile = hyflex_pim::gradient_redistribution::LayerGradientProfile {
+            layer_index: 0,
+            rank,
+            singular_values: (0..rank).map(|_| rng.uniform() as f32).collect(),
+            sigma_gradients: (0..rank).map(|_| rng.uniform()).collect(),
+        };
+        let expected = selection::protected_count(rank, rate);
+        for strategy in SelectionStrategy::all() {
+            let mask = selection::select_protected_ranks(&profile, strategy, rate);
+            prop_assert_eq!(mask.len(), rank);
+            prop_assert_eq!(mask.iter().filter(|m| **m).count(), expected);
+        }
+    }
+
+    /// SLC cell fraction is monotone in the rank protection rate.
+    #[test]
+    fn slc_cell_fraction_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(selection::slc_cell_fraction(lo, 2) <= selection::slc_cell_fraction(hi, 2) + 1e-12);
+    }
+}
