@@ -127,9 +127,7 @@ mod tests {
             fp32.end_to_end_energy(&model, 128).unwrap().total_pj()
                 > int8.end_to_end_energy(&model, 128).unwrap().total_pj()
         );
-        assert!(
-            fp32.tops_per_mm2(&model, 128).unwrap() < int8.tops_per_mm2(&model, 128).unwrap()
-        );
+        assert!(fp32.tops_per_mm2(&model, 128).unwrap() < int8.tops_per_mm2(&model, 128).unwrap());
         assert_eq!(int8.name(), "ASADI\u{2020}");
         assert_eq!(fp32.name(), "ASADI");
     }
@@ -152,8 +150,8 @@ mod tests {
         let model = ModelConfig::bert_large();
         let asadi = Asadi::new(AsadiPrecision::Int8);
         let hyflex = crate::HyFlexPimAccelerator::new(0.1);
-        let speedup = hyflex.tops_per_mm2(&model, 1024).unwrap()
-            / asadi.tops_per_mm2(&model, 1024).unwrap();
+        let speedup =
+            hyflex.tops_per_mm2(&model, 1024).unwrap() / asadi.tops_per_mm2(&model, 1024).unwrap();
         assert!(speedup >= 1.0 && speedup < 3.0, "speedup {speedup:.2}");
     }
 }

@@ -98,7 +98,8 @@ impl Accelerator for HyFlexPimAccelerator {
     }
 
     fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        self.perf.linear_layer_energy_pj(&self.point(model, seq_len))
+        self.perf
+            .linear_layer_energy_pj(&self.point(model, seq_len))
     }
 
     fn end_to_end_energy(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
@@ -106,7 +107,10 @@ impl Accelerator for HyFlexPimAccelerator {
     }
 
     fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        Ok(self.perf.evaluate(&self.point(model, seq_len))?.tops_per_mm2)
+        Ok(self
+            .perf
+            .evaluate(&self.point(model, seq_len))?
+            .tops_per_mm2)
     }
 }
 

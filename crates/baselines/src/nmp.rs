@@ -87,8 +87,7 @@ impl Accelerator for NearMemoryProcessing {
         let activation_bytes = (seq_len * (model.hidden_dim + model.ffn_dim) * model.num_layers)
             as f64
             + (model.num_heads * seq_len * seq_len * model.num_layers) as f64;
-        energy.dram_access_pj =
-            (weight_bytes + activation_bytes) * self.energy.hbm_access_byte_pj;
+        energy.dram_access_pj = (weight_bytes + activation_bytes) * self.energy.hbm_access_byte_pj;
         Ok(energy)
     }
 

@@ -74,8 +74,7 @@ impl Sprint {
         energy.digital_mac_pj += attention_macs * surviving * self.energy.int8_mac_pj;
         let pruning_pairs = (seq_len * seq_len * model.num_layers) as f64;
         energy.linear_adc_pj = pruning_pairs * self.energy.adc_conversion_pj;
-        energy.analog_rram_read_pj =
-            pruning_pairs / 128.0 * self.energy.analog_array_read_cycle_pj;
+        energy.analog_rram_read_pj = pruning_pairs / 128.0 * self.energy.analog_array_read_cycle_pj;
 
         // Softmax and other non-linearities on the digital datapath.
         energy.sfu_pj = softmax_elems * surviving * self.energy.sfu_element_pj;
@@ -159,9 +158,12 @@ mod tests {
                 / hyflex.linear_layer_energy_pj(&model, n).unwrap()
         };
         let small = ratio_at(128);
-        assert!(small > 1.2, "expected a clear linear-layer gain, got {small:.2}");
-        let speedup = hyflex.tops_per_mm2(&model, 128).unwrap()
-            / sprint.tops_per_mm2(&model, 128).unwrap();
+        assert!(
+            small > 1.2,
+            "expected a clear linear-layer gain, got {small:.2}"
+        );
+        let speedup =
+            hyflex.tops_per_mm2(&model, 128).unwrap() / sprint.tops_per_mm2(&model, 128).unwrap();
         assert!(speedup > 3.0, "throughput speedup {speedup:.1}");
     }
 }

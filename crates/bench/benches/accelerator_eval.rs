@@ -45,5 +45,10 @@ fn bench_scalability(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_perf_model, bench_baselines, bench_scalability);
+criterion_group!(
+    benches,
+    bench_perf_model,
+    bench_baselines,
+    bench_scalability
+);
 criterion_main!(benches);

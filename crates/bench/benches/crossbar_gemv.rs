@@ -35,21 +35,33 @@ fn bench_bit_serial_gemv(c: &mut Criterion) {
     let input: Vec<f32> = (0..64).map(|_| rng.normal() as f32).collect();
     let noise = NoiseModel::calibrated_to_paper();
 
-    let slc = MappedMatrix::program(&weights, WeightMapping::slc_default(), &noise, &mut rng).unwrap();
-    let mlc = MappedMatrix::program(&weights, WeightMapping::mlc_default(), &noise, &mut rng).unwrap();
+    let slc =
+        MappedMatrix::program(&weights, WeightMapping::slc_default(), &noise, &mut rng).unwrap();
+    let mlc =
+        MappedMatrix::program(&weights, WeightMapping::mlc_default(), &noise, &mut rng).unwrap();
 
     let mut group = c.benchmark_group("crossbar/bit_serial_gemv_64x32");
-    group.bench_function("slc_6b_adc", |b| b.iter(|| slc.gemv(black_box(&input)).unwrap()));
-    group.bench_function("mlc_7b_adc", |b| b.iter(|| mlc.gemv(black_box(&input)).unwrap()));
+    group.bench_function("slc_6b_adc", |b| {
+        b.iter(|| slc.gemv(black_box(&input)).unwrap())
+    });
+    group.bench_function("mlc_7b_adc", |b| {
+        b.iter(|| mlc.gemv(black_box(&input)).unwrap())
+    });
     group.finish();
 }
 
 fn bench_digital_pim(c: &mut Criterion) {
     let mut module = DigitalPimModule::paper_default();
-    let q: Vec<Vec<i32>> = (0..16).map(|i| (0..64).map(|j| ((i * j) % 17) as i32 - 8).collect()).collect();
+    let q: Vec<Vec<i32>> = (0..16)
+        .map(|i| (0..64).map(|j| ((i * j) % 17) as i32 - 8).collect())
+        .collect();
     let k = q.clone();
     c.bench_function("digital_pim/qk_scores_16x64", |b| {
-        b.iter(|| module.matmul_transposed(black_box(&q), black_box(&k)).unwrap())
+        b.iter(|| {
+            module
+                .matmul_transposed(black_box(&q), black_box(&k))
+                .unwrap()
+        })
     });
 }
 

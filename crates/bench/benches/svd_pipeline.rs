@@ -38,7 +38,11 @@ fn bench_factored_layer(c: &mut Criterion) {
         b.iter(|| factored.forward(black_box(&x)).unwrap())
     });
     group.bench_function("factored_backward", |b| {
-        b.iter(|| factored.backward(black_box(&x), black_box(&upstream)).unwrap())
+        b.iter(|| {
+            factored
+                .backward(black_box(&x), black_box(&upstream))
+                .unwrap()
+        })
     });
     group.finish();
 }

@@ -61,12 +61,14 @@ fn main() {
     let profiles = full_rank_pipeline
         .collect_profiles(&mut full_rank_model, &dataset.train)
         .expect("profiles");
-    summarize("(b) after SVD, no hard threshold", &profiles[0].sigma_gradients);
+    summarize(
+        "(b) after SVD, no hard threshold",
+        &profiles[0].sigma_gradients,
+    );
 
     // (c) After hard threshold + fine-tuning (the full pipeline).
-    let experiment =
-        run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 3, 3, seed)
-            .expect("experiment succeeds");
+    let experiment = run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 3, 3, seed)
+        .expect("experiment succeeds");
     summarize(
         "(c) after SVD + hard threshold + fine-tune",
         &experiment.report.layer_profiles[0].sigma_gradients,

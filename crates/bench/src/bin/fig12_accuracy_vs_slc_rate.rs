@@ -29,7 +29,13 @@ fn mlc_mode_from_args() -> CellMode {
     mode
 }
 
-fn sweep(name: &str, model: ModelConfig, dataset: hyflex_workloads::Dataset, mlc: CellMode, seed: u64) {
+fn sweep(
+    name: &str,
+    model: ModelConfig,
+    dataset: hyflex_workloads::Dataset,
+    mlc: CellMode,
+    seed: u64,
+) {
     let experiment = run_functional_experiment(model, dataset, 4, 2, seed).expect("experiment");
     let simulator = NoiseSimulator::paper_default();
     let baseline = experiment.report.eval_finetuned.metrics.primary_value();
@@ -84,18 +90,41 @@ fn main() {
 
     // (a) Encoder: synthetic GLUE tasks on the tiny encoder.
     let glue_config = GlueConfig::default();
-    for task in [GlueTask::Mrpc, GlueTask::Cola, GlueTask::Sst2, GlueTask::Rte] {
+    for task in [
+        GlueTask::Mrpc,
+        GlueTask::Cola,
+        GlueTask::Sst2,
+        GlueTask::Rte,
+    ] {
         let dataset = glue::generate(task, &glue_config, 21);
         sweep(task.name(), ModelConfig::tiny_encoder(2), dataset, mlc, 21);
     }
     let stsb = glue::generate(GlueTask::Stsb, &glue_config, 22);
-    sweep("STS-B", ModelConfig::tiny_encoder_regression(), stsb, mlc, 22);
+    sweep(
+        "STS-B",
+        ModelConfig::tiny_encoder_regression(),
+        stsb,
+        mlc,
+        22,
+    );
 
     // (b) Decoder: synthetic WikiText-2 stand-in on the tiny decoder.
     let wiki = lm::wikitext2_dataset(23);
-    sweep("WikiText-2 (GPT-2 proxy)", ModelConfig::tiny_decoder(), wiki, mlc, 23);
+    sweep(
+        "WikiText-2 (GPT-2 proxy)",
+        ModelConfig::tiny_decoder(),
+        wiki,
+        mlc,
+        23,
+    );
 
     // Vision: synthetic CIFAR-10 stand-in on the tiny ViT.
     let cifar = vision::generate(&vision::VisionConfig::default(), 24);
-    sweep("CIFAR-10 (ViT proxy)", ModelConfig::tiny_vit(10), cifar, mlc, 24);
+    sweep(
+        "CIFAR-10 (ViT proxy)",
+        ModelConfig::tiny_vit(10),
+        cifar,
+        mlc,
+        24,
+    );
 }

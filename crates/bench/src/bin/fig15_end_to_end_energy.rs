@@ -18,7 +18,12 @@ fn comparison(model: &ModelConfig, slc_rate: f64) {
     let hyflex = HyFlexPimAccelerator::new(slc_rate);
     let reference: Vec<f64> = lengths
         .iter()
-        .map(|&n| hyflex.end_to_end_energy(model, n).expect("energy").total_pj())
+        .map(|&n| {
+            hyflex
+                .end_to_end_energy(model, n)
+                .expect("energy")
+                .total_pj()
+        })
         .collect();
     for accelerator in all_accelerators(slc_rate) {
         let values: Vec<String> = lengths

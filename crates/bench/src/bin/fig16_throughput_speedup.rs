@@ -24,7 +24,10 @@ fn sweep(title: &str, model: &ModelConfig) {
                 fmt(ours / theirs, 2)
             })
             .collect();
-        print_row(&format!("{}% SLC vs ASADI\u{2020}", (rate * 100.0) as u32), &vs_asadi);
+        print_row(
+            &format!("{}% SLC vs ASADI\u{2020}", (rate * 100.0) as u32),
+            &vs_asadi,
+        );
     }
     for &rate in &slc_rates {
         let hyflex = HyFlexPimAccelerator::new(rate);
@@ -36,7 +39,10 @@ fn sweep(title: &str, model: &ModelConfig) {
                 fmt(ours / theirs, 1)
             })
             .collect();
-        print_row(&format!("{}% SLC vs SPRINT", (rate * 100.0) as u32), &vs_sprint);
+        print_row(
+            &format!("{}% SLC vs SPRINT", (rate * 100.0) as u32),
+            &vs_sprint,
+        );
     }
 }
 

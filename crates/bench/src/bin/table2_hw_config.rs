@@ -18,11 +18,7 @@ fn main() {
         for c in &module.components {
             print_row(
                 c.name,
-                &[
-                    fmt(c.area_mm2, 4),
-                    fmt(c.power_mw, 2),
-                    c.count.to_string(),
-                ],
+                &[fmt(c.area_mm2, 4), fmt(c.power_mw, 2), c.count.to_string()],
             );
         }
         print_row(

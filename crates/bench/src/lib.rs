@@ -101,7 +101,8 @@ mod tests {
     #[test]
     fn functional_experiment_produces_profiles() {
         let dataset = glue::generate(GlueTask::Sst2, &GlueConfig::default(), 3);
-        let exp = run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 2, 1, 3).unwrap();
+        let exp =
+            run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 2, 1, 3).unwrap();
         assert_eq!(exp.report.layer_profiles.len(), 12);
         assert!(!exp.dataset.eval.is_empty());
     }

@@ -86,8 +86,7 @@ impl EnergyModel {
             .component("WL DRV")
             .map(|c| c.power_mw)
             .unwrap_or(297.71);
-        let analog_wldrv_cycle_pj =
-            wldrv_power_mw / arrays_per_module * 1e-3 * read_cycle_s * 1e12;
+        let analog_wldrv_cycle_pj = wldrv_power_mw / arrays_per_module * 1e-3 * read_cycle_s * 1e12;
 
         let sa_power_mw = analog.component("S&A").map(|c| c.power_mw).unwrap_or(59.54);
         let shift_add_op_pj = sa_power_mw / arrays_per_module * 1e-3 / ADC_SAMPLE_RATE_HZ * 1e12;
@@ -111,7 +110,10 @@ impl EnergyModel {
         let digital_wldrv_cycle_pj =
             d_wldrv_power_mw / digital_arrays * 1e-3 * digital_cycle_s * 1e12;
 
-        let sfu_power_mw = digital.component("SFU").map(|c| c.power_mw).unwrap_or(138.89);
+        let sfu_power_mw = digital
+            .component("SFU")
+            .map(|c| c.power_mw)
+            .unwrap_or(138.89);
         let sfu_element_pj =
             sfu_power_mw * 1e-3 * digital_cycle_s / super::sfu::SFU_INPUTS_PER_CYCLE as f64 * 1e12;
 
@@ -147,7 +149,8 @@ impl EnergyModel {
     pub fn analog_cycle_total_pj(&self, bit_lines: usize) -> f64 {
         self.analog_array_read_cycle_pj
             + self.analog_wldrv_cycle_pj
-            + bit_lines as f64 * (self.adc_conversion_pj + self.sample_hold_pj + self.shift_add_op_pj)
+            + bit_lines as f64
+                * (self.adc_conversion_pj + self.sample_hold_pj + self.shift_add_op_pj)
     }
 
     /// Energy to program a matrix of `cells` cells in the given mode.

@@ -160,8 +160,7 @@ impl SpecialFunctionUnit {
         let inv_std = 1.0 / (var + 1e-5).sqrt();
         // Four pipeline passes: mean, variance, normalize, affine.
         self.record(x.len(), 4);
-        Ok(x
-            .iter()
+        Ok(x.iter()
             .zip(gamma.iter().zip(beta.iter()))
             .map(|(v, (g, b))| (v - mean) * inv_std * g + b)
             .collect())

@@ -114,7 +114,8 @@ mod tests {
         for (w_idx, &w) in weight_bits.iter().enumerate() {
             for (a_idx, &a) in input_bits.iter().enumerate() {
                 // Column sum for one input bit and one SLC weight column is a*w.
-                sa.accumulate_pim(a * w, a_idx as u32, w_idx as u32, 1).unwrap();
+                sa.accumulate_pim(a * w, a_idx as u32, w_idx as u32, 1)
+                    .unwrap();
             }
         }
         assert_eq!(sa.value(), 11 * 6);
@@ -128,7 +129,8 @@ mod tests {
         let mut sa = ShiftAdder::new();
         for (cell, &digit) in weight_digits.iter().enumerate() {
             for (a_idx, &a) in input_bits.iter().enumerate() {
-                sa.accumulate_pim(a * digit, a_idx as u32, cell as u32, 2).unwrap();
+                sa.accumulate_pim(a * digit, a_idx as u32, cell as u32, 2)
+                    .unwrap();
             }
         }
         assert_eq!(sa.value(), 11 * 6);

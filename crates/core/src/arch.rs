@@ -78,11 +78,7 @@ impl Chip {
     ///
     /// Weights are counted in their factored form (`U` plus `Σ·Vᵀ` at the
     /// hard-threshold rank, which is parameter-neutral versus dense).
-    pub fn analog_cells_for_layer(
-        &self,
-        model: &ModelConfig,
-        slc_rank_fraction: f64,
-    ) -> usize {
+    pub fn analog_cells_for_layer(&self, model: &ModelConfig, slc_rank_fraction: f64) -> usize {
         let slc = slc_rank_fraction.clamp(0.0, 1.0);
         let slc_cells_per_weight = self.config.slc_cells_per_weight() as f64;
         let mlc_cells_per_weight = self.config.mlc_cells_per_weight() as f64;
@@ -110,7 +106,12 @@ impl Chip {
 
     /// Number of PUs needed to hold one layer (tensor parallelism, scaling
     /// case 1 of Section 3.1). At least 1.
-    pub fn pus_per_layer(&self, model: &ModelConfig, seq_len: usize, slc_rank_fraction: f64) -> usize {
+    pub fn pus_per_layer(
+        &self,
+        model: &ModelConfig,
+        seq_len: usize,
+        slc_rank_fraction: f64,
+    ) -> usize {
         let resources = self.pu_resources();
         let analog_needed = self.analog_cells_for_layer(model, slc_rank_fraction);
         let digital_needed = self.digital_cells_for_layer(model, seq_len);
@@ -224,7 +225,10 @@ mod tests {
         let chip = Chip::paper_default();
         let model = ModelConfig::llama3_1b();
         let per_layer = chip.pus_per_layer(&model, 8192, 0.2);
-        assert!(per_layer >= 2, "expected >=2 PUs per Llama3 layer, got {per_layer}");
+        assert!(
+            per_layer >= 2,
+            "expected >=2 PUs per Llama3 layer, got {per_layer}"
+        );
         let chips = chip.chips_for_model(&model, 8192, 0.2);
         assert!(chips >= 2, "expected >=2 chips, got {chips}");
     }
@@ -244,9 +248,7 @@ mod tests {
         let chip = Chip::paper_default();
         let gpt2 = ModelConfig::gpt2_small();
         let llama = ModelConfig::llama3_1b();
-        assert!(
-            chip.model_analog_weight_bytes(&llama) > chip.model_analog_weight_bytes(&gpt2)
-        );
+        assert!(chip.model_analog_weight_bytes(&llama) > chip.model_analog_weight_bytes(&gpt2));
         assert!(chip.model_digital_bytes(&gpt2, 8192) > chip.model_digital_bytes(&gpt2, 1024));
     }
 }

@@ -137,8 +137,7 @@ impl HyFlexPimConfig {
     pub fn analog_capacity_bytes(&self, slc_fraction: f64) -> f64 {
         let cells = (self.analog_cells_per_pu() * self.pus_per_chip) as f64;
         let slc = slc_fraction.clamp(0.0, 1.0);
-        let bits_per_cell =
-            slc * 1.0 + (1.0 - slc) * f64::from(self.mlc_mode.bits_per_cell());
+        let bits_per_cell = slc * 1.0 + (1.0 - slc) * f64::from(self.mlc_mode.bits_per_cell());
         cells * bits_per_cell / 8.0
     }
 

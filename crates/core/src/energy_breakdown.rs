@@ -115,7 +115,11 @@ impl EnergyBreakdown {
     pub fn shares(&self) -> Vec<(&'static str, f64)> {
         let total = self.total_pj();
         if total == 0.0 {
-            return self.components().into_iter().map(|(n, _)| (n, 0.0)).collect();
+            return self
+                .components()
+                .into_iter()
+                .map(|(n, _)| (n, 0.0))
+                .collect();
         }
         self.components()
             .into_iter()

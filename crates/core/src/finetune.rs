@@ -55,7 +55,9 @@ impl HyperParams {
 
     /// Looks up the row for a model name (prefix match, e.g. "BERT-Base").
     pub fn for_model(name: &str) -> Option<HyperParams> {
-        Self::table1().into_iter().find(|h| name.starts_with(h.model))
+        Self::table1()
+            .into_iter()
+            .find(|h| name.starts_with(h.model))
     }
 
     /// Builds a trainer from this row. The reduced-scale functional models

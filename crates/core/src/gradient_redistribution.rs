@@ -304,7 +304,7 @@ mod tests {
         let pipeline = GradientRedistribution::new(trainer);
         let ranks = pipeline.factorize_model(&mut model).unwrap();
         assert_eq!(ranks.len(), 12); // 2 layers x 6 static linears
-        // Attention projections are 32x32 -> hard threshold 16; FFN 32x64 -> 21.
+                                     // Attention projections are 32x32 -> hard threshold 16; FFN 32x64 -> 21.
         assert_eq!(ranks[0], 16);
         assert_eq!(ranks[4], hard_threshold_rank(32, 64));
         assert!(model

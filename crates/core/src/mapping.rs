@@ -136,7 +136,8 @@ pub fn map_layer(
     let slc = combine(u_slc, v_slc);
     let mlc = combine(u_mlc, v_mlc);
 
-    let write_energy_pj = energy.array_write_pj(slc.cells, false) + energy.array_write_pj(mlc.cells, true);
+    let write_energy_pj =
+        energy.array_write_pj(slc.cells, false) + energy.array_write_pj(mlc.cells, true);
 
     Ok(LayerMapping {
         layer,

@@ -407,7 +407,10 @@ mod tests {
             .evaluate(&fx.model, &fx.profiles, &spec, &fx.eval, 3)
             .unwrap();
         let drop = fx.clean_accuracy - report.metrics.primary_value();
-        assert!(drop < 0.06, "INT8 quantization alone should be benign: {drop:.3}");
+        assert!(
+            drop < 0.06,
+            "INT8 quantization alone should be benign: {drop:.3}"
+        );
     }
 
     #[test]
@@ -446,9 +449,7 @@ mod tests {
             mlc_mode: CellMode::MLC2,
             quantize_int8: true,
         };
-        let (report, stats) = sim
-            .evaluate(&model, &[], &spec, &dataset.eval, 9)
-            .unwrap();
+        let (report, stats) = sim.evaluate(&model, &[], &spec, &dataset.eval, 9).unwrap();
         assert!(stats.slc_weights > 0);
         assert!(stats.mlc_weights > stats.slc_weights);
         assert_eq!(stats.slc_ranks + stats.mlc_ranks, 0);

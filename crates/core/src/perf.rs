@@ -149,7 +149,12 @@ impl PerformanceModel {
     ///
     /// Propagates mapping errors.
     pub fn block_mapping(&self, point: &EvaluationPoint) -> Result<Vec<LayerMapping>> {
-        mapping::map_block(&point.model, &self.hw, point.slc_rank_fraction, &self.energy)
+        mapping::map_block(
+            &point.model,
+            &self.hw,
+            point.slc_rank_fraction,
+            &self.energy,
+        )
     }
 
     /// Energy of the static-weight linear layers only (Figure 14), pJ.
@@ -182,8 +187,14 @@ impl PerformanceModel {
         // cycle; the shared ADC digitizes its 128 bit lines (6-b for SLC
         // arrays, 7-b for MLC arrays — one extra bit doubles conversion
         // energy, but MLC halves the number of occupied arrays).
-        let slc_cycles_per_bit: f64 = block.iter().map(|m| m.slc.read_cycles_per_input_bit as f64).sum();
-        let mlc_cycles_per_bit: f64 = block.iter().map(|m| m.mlc.read_cycles_per_input_bit as f64).sum();
+        let slc_cycles_per_bit: f64 = block
+            .iter()
+            .map(|m| m.slc.read_cycles_per_input_bit as f64)
+            .sum();
+        let mlc_cycles_per_bit: f64 = block
+            .iter()
+            .map(|m| m.mlc.read_cycles_per_input_bit as f64)
+            .sum();
         let tokens_bits = n * input_bits * layers;
         let slc_cycles = slc_cycles_per_bit * tokens_bits;
         let mlc_cycles = mlc_cycles_per_bit * tokens_bits;
@@ -207,7 +218,12 @@ impl PerformanceModel {
         let stage_ops = ops_count::model_ops(model, point.seq_len);
         let attention_macs: f64 = stage_ops
             .iter()
-            .filter(|s| matches!(s.stage, ops_count::Stage::ScoreQKt | ops_count::Stage::ProbV))
+            .filter(|s| {
+                matches!(
+                    s.stage,
+                    ops_count::Stage::ScoreQKt | ops_count::Stage::ProbV
+                )
+            })
             .map(|s| s.ops as f64)
             .sum();
         let digital_module = DigitalPimModule::paper_default();
@@ -215,8 +231,7 @@ impl PerformanceModel {
         // operations, each occupying 3 of the 1024 array columns for 5 cycles;
         // scale the per-array-cycle energies by that column-time share.
         let columns = self.hw.digital_array_cols as f64;
-        let column_cycles_per_mac =
-            digital_module.nor_ops_per_mul() as f64 * 3.0 * 5.0 / columns;
+        let column_cycles_per_mac = digital_module.nor_ops_per_mul() as f64 * 3.0 * 5.0 / columns;
         let array_mac_pj = self.energy.digital_array_cycle_pj * column_cycles_per_mac;
         let wldrv_mac_pj = self.energy.digital_wldrv_cycle_pj * column_cycles_per_mac;
         energy.attention_dot_product_pj = attention_macs * array_mac_pj;
@@ -224,7 +239,8 @@ impl PerformanceModel {
 
         // Dynamically generated data written into digital PIM (Q, K, V,
         // scores, FFN intermediate), INT8 SLC: one cell write per bit.
-        let digital_write_cells = chip.digital_cells_for_layer(model, point.seq_len) as f64 * layers;
+        let digital_write_cells =
+            chip.digital_cells_for_layer(model, point.seq_len) as f64 * layers;
         energy.digital_rram_write_pj = digital_write_cells * self.energy.slc_cell_write_pj;
 
         // ---- SFU: softmax, layer norm, GELU ------------------------------

@@ -262,7 +262,10 @@ mod tests {
         let mut cell = RramCell::new(CellMode::MLC2);
         cell.program(1, 0.0).unwrap();
         cell.program(2, 0.0).unwrap();
-        assert_eq!(cell.write_count(), 2 * u64::from(CellMode::MLC2.write_pulses()));
+        assert_eq!(
+            cell.write_count(),
+            2 * u64::from(CellMode::MLC2.write_pulses())
+        );
     }
 
     #[test]

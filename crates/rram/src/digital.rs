@@ -180,11 +180,7 @@ impl DigitalPimModule {
     /// # Errors
     ///
     /// Returns [`RramError::ShapeMismatch`] if the inner dimensions differ.
-    pub fn matmul_transposed(
-        &mut self,
-        a: &[Vec<i32>],
-        b: &[Vec<i32>],
-    ) -> Result<Vec<Vec<i64>>> {
+    pub fn matmul_transposed(&mut self, a: &[Vec<i32>], b: &[Vec<i32>]) -> Result<Vec<Vec<i64>>> {
         if a.is_empty() || b.is_empty() {
             return Ok(Vec::new());
         }

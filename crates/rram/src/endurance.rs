@@ -80,8 +80,8 @@ impl EnduranceTracker {
         if writes_per_day == 0 {
             return f64::INFINITY;
         }
-        let budget = self.endurance_cycles as f64 * self.total_cells as f64
-            - self.total_writes as f64;
+        let budget =
+            self.endurance_cycles as f64 * self.total_cells as f64 - self.total_writes as f64;
         (budget / writes_per_day as f64) / 365.25
     }
 }

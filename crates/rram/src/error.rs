@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = RramError::LevelOutOfRange { level: 5, levels: 4 };
+        let e = RramError::LevelOutOfRange {
+            level: 5,
+            levels: 4,
+        };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains('4'));
         let e = RramError::IndexOutOfBounds {

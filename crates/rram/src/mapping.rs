@@ -233,7 +233,10 @@ impl MappedMatrix {
         let (q_input, input_scale) = quantize_vector(input, self.mapping.input_bits)?;
         let input_offset = 1i64 << (self.mapping.input_bits - 1);
         let weight_offset = 1i64 << (self.mapping.weight_bits - 1);
-        let unsigned_input: Vec<i64> = q_input.iter().map(|q| i64::from(*q) + input_offset).collect();
+        let unsigned_input: Vec<i64> = q_input
+            .iter()
+            .map(|q| i64::from(*q) + input_offset)
+            .collect();
         let unsigned_input_sum: i64 = unsigned_input.iter().sum();
 
         let bits_per_cell = u32::from(self.mapping.mode.bits_per_cell());
@@ -276,7 +279,8 @@ impl MappedMatrix {
         let zw = weight_offset as f64;
         let out = (0..self.cols)
             .map(|c| {
-                let signed = unsigned_acc[c] - zw * unsigned_input_sum as f64
+                let signed = unsigned_acc[c]
+                    - zw * unsigned_input_sum as f64
                     - za * self.unsigned_col_sums[c]
                     + n * za * zw;
                 (signed as f32) * self.weight_scale * input_scale
@@ -304,7 +308,11 @@ impl MappedMatrix {
 
     /// Exact signed-integer GEMV on the quantization grid, ignoring analog
     /// noise and ADC effects. Useful as a reference in tests.
-    pub fn reference_gemv(weights: &Matrix, input: &[f32], mapping: &WeightMapping) -> Result<Vec<f32>> {
+    pub fn reference_gemv(
+        weights: &Matrix,
+        input: &[f32],
+        mapping: &WeightMapping,
+    ) -> Result<Vec<f32>> {
         let quantized = QuantizedMatrix::quantize(weights, mapping.weight_bits)?;
         let (q_input, input_scale) = quantize_vector(input, mapping.input_bits)?;
         let mut out = vec![0.0f32; weights.cols()];
@@ -426,18 +434,19 @@ mod tests {
         let noise = NoiseModel::calibrated_to_paper();
 
         let mut rng = Rng::seed_from(12);
-        let slc =
-            MappedMatrix::program(&weights, WeightMapping::slc_default(), &noise, &mut rng)
-                .unwrap();
+        let slc = MappedMatrix::program(&weights, WeightMapping::slc_default(), &noise, &mut rng)
+            .unwrap();
         let slc_err = relative_l2_error(&slc.gemv(&input).unwrap(), &exact);
 
         let mut rng = Rng::seed_from(12);
-        let mlc =
-            MappedMatrix::program(&weights, WeightMapping::mlc_default(), &noise, &mut rng)
-                .unwrap();
+        let mlc = MappedMatrix::program(&weights, WeightMapping::mlc_default(), &noise, &mut rng)
+            .unwrap();
         let mlc_err = relative_l2_error(&mlc.gemv(&input).unwrap(), &exact);
 
-        assert!(slc_err < mlc_err, "SLC ({slc_err}) should beat MLC ({mlc_err})");
+        assert!(
+            slc_err < mlc_err,
+            "SLC ({slc_err}) should beat MLC ({mlc_err})"
+        );
         // At the paper-calibrated device noise the SLC read-out still tracks
         // the exact GEMV (the error budget below is generous because this is
         // the un-averaged, per-array cell-level model).

@@ -50,7 +50,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x_abs);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x_abs * x_abs).exp();
     if sign_negative {
         2.0 - result
@@ -130,7 +131,10 @@ impl NoiseModel {
     ///
     /// Returns [`RramError::InvalidConfig`] for negative or non-finite values.
     pub fn new(write_sigma: f64, retention_sigma: f64) -> Result<Self> {
-        for (name, v) in [("write_sigma", write_sigma), ("retention_sigma", retention_sigma)] {
+        for (name, v) in [
+            ("write_sigma", write_sigma),
+            ("retention_sigma", retention_sigma),
+        ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(RramError::InvalidConfig(format!(
                     "{name} {v} must be finite and non-negative"
@@ -156,8 +160,8 @@ impl NoiseModel {
     /// The paper's calibration: a 3 % write-time error plus a retention drift
     /// whose 2-bit MLC bit-error rate equals 4.04 %.
     pub fn calibrated_to_paper() -> Self {
-        let retention = sigma_from_ber(PAPER_MLC2_BER, CellMode::MLC2)
-            .expect("paper BER constant is in range");
+        let retention =
+            sigma_from_ber(PAPER_MLC2_BER, CellMode::MLC2).expect("paper BER constant is in range");
         NoiseModel {
             write_sigma: DEFAULT_WRITE_SIGMA,
             retention_sigma: retention,
@@ -371,7 +375,12 @@ mod tests {
         let noisy_mlc = model.apply_gaussian(&w, CellMode::MLC2, &mut rng);
         let err = |m: &Matrix| {
             let d = m.sub(&w).unwrap();
-            (d.as_slice().iter().map(|x| (*x as f64).powi(2)).sum::<f64>() / d.len() as f64).sqrt()
+            (d.as_slice()
+                .iter()
+                .map(|x| (*x as f64).powi(2))
+                .sum::<f64>()
+                / d.len() as f64)
+                .sqrt()
         };
         let slc_err = err(&noisy_slc);
         let mlc_err = err(&noisy_mlc);

@@ -283,7 +283,12 @@ mod tests {
         let beta = [0.0f32; 4];
         let out = layer_norm(&x, &gamma, &beta, 1e-5);
         let mean = out.output.iter().sum::<f32>() / 4.0;
-        let var = out.output.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        let var = out
+            .output
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-3);
     }

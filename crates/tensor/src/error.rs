@@ -52,7 +52,10 @@ impl fmt::Display for TensorError {
             TensorError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

@@ -539,7 +539,11 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Largest absolute entry.
@@ -673,7 +677,10 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = sample();
         let err = a.matmul(&sample()).unwrap_err();
-        assert!(matches!(err, TensorError::ShapeMismatch { op: "matmul", .. }));
+        assert!(matches!(
+            err,
+            TensorError::ShapeMismatch { op: "matmul", .. }
+        ));
     }
 
     #[test]

@@ -111,8 +111,7 @@ impl QuantizedMatrix {
     pub fn mean_abs_error(&self, original: &Matrix) -> Result<f32> {
         let deq = self.dequantize();
         let diff = deq.sub(original)?;
-        Ok(diff.as_slice().iter().map(|x| x.abs() as f64).sum::<f64>() as f32
-            / diff.len() as f32)
+        Ok(diff.as_slice().iter().map(|x| x.abs() as f64).sum::<f64>() as f32 / diff.len() as f32)
     }
 
     /// Extracts bit-plane `bit` (0 = LSB) of the two's-complement offset

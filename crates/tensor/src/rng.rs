@@ -5,17 +5,15 @@
 //! draws from this wrapper so that experiments are reproducible from a single
 //! seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
-
 /// Deterministic random number generator used throughout the workspace.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds Gaussian sampling (Box–Muller, since
-/// the base `rand` crate ships only uniform distributions) plus a `split`
-/// operation for handing independent streams to sub-components.
+/// Implements xoshiro256++ (public-domain, Blackman & Vigna) seeded through
+/// SplitMix64, so the workspace needs no external RNG crate and the stream is
+/// bit-identical on every platform. Adds Gaussian sampling (Box–Muller) plus
+/// a `split` operation for handing independent streams to sub-components.
 #[derive(Debug, Clone)]
 pub struct Rng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second Gaussian sample from the last Box–Muller transform.
     spare_normal: Option<f64>,
 }
@@ -23,10 +21,35 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro256++ state, as
+        // recommended by the xoshiro reference implementation.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         Rng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
             spare_normal: None,
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Derives an independent generator, advancing this generator once.
@@ -34,13 +57,14 @@ impl Rng {
     /// Used to give sub-systems (e.g. each RRAM array) their own stream while
     /// keeping the top-level experiment reproducible.
     pub fn split(&mut self) -> Self {
-        let seed = self.inner.gen::<u64>() ^ 0x9e37_79b9_7f4a_7c15;
+        let seed = self.next_u64() ^ 0x9e37_79b9_7f4a_7c15;
         Rng::seed_from(seed)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits of a u64 → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -56,7 +80,9 @@ impl Rng {
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
         debug_assert!(n > 0, "below requires n > 0");
-        self.inner.gen_range(0..n)
+        // Modulo bias is ≤ n/2⁶⁴, far below anything the experiments can
+        // resolve, and keeps the sampler branch-free and reproducible.
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Fair coin flip with probability `p` of returning `true`.

@@ -189,7 +189,11 @@ pub fn argmax(xs: &[f32]) -> usize {
 /// Returns the indices of the `k` largest values in descending order.
 pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[b]
+            .partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k.min(xs.len()));
     idx
 }

@@ -248,7 +248,10 @@ fn svd_tall(w: &Matrix) -> Result<Svd> {
     let mut order: Vec<usize> = (0..n).collect();
     let mut sigmas: Vec<f64> = Vec::with_capacity(n);
     for j in 0..n {
-        let norm: f64 = (0..m).map(|i| (a.at(i, j) as f64).powi(2)).sum::<f64>().sqrt();
+        let norm: f64 = (0..m)
+            .map(|i| (a.at(i, j) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         sigmas.push(norm);
     }
     order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).unwrap());

@@ -82,7 +82,11 @@ impl MultiHeadAttention {
     ///
     /// Returns shape errors from the projections.
     pub fn forward(&self, x: &Matrix, causal: bool) -> Result<Matrix> {
-        let (q, k, v) = (self.wq.forward(x)?, self.wk.forward(x)?, self.wv.forward(x)?);
+        let (q, k, v) = (
+            self.wq.forward(x)?,
+            self.wk.forward(x)?,
+            self.wv.forward(x)?,
+        );
         let context = self.attend(&q, &k, &v, causal)?;
         self.wo.forward(&context)
     }
@@ -379,6 +383,9 @@ mod tests {
         );
         attn.zero_grad();
         let after = attn.forward(&x, false).unwrap();
-        assert!(!before.approx_eq(&after, 1e-6), "step should change outputs");
+        assert!(
+            !before.approx_eq(&after, 1e-6),
+            "step should change outputs"
+        );
     }
 }

@@ -370,10 +370,7 @@ mod tests {
         assert_eq!(c.static_layer_shape(StaticLayerKind::Ffn1), (768, 3072));
         assert_eq!(c.static_layer_shape(StaticLayerKind::Ffn2), (3072, 768));
         // 4 * Dh^2 + 2 * Dh * Dff per layer.
-        assert_eq!(
-            c.static_params_per_layer(),
-            4 * 768 * 768 + 2 * 768 * 3072
-        );
+        assert_eq!(c.static_params_per_layer(), 4 * 768 * 768 + 2 * 768 * 3072);
         assert_eq!(c.static_params_total(), 12 * c.static_params_per_layer());
     }
 

@@ -51,7 +51,11 @@ impl FactoredLinear {
     pub fn from_weight(weight: &Matrix, rank: usize) -> Result<Self> {
         let decomposition = svd::svd(weight)?;
         let full_rank = decomposition.rank();
-        let k = if rank == 0 { full_rank } else { rank.min(full_rank) };
+        let k = if rank == 0 {
+            full_rank
+        } else {
+            rank.min(full_rank)
+        };
         let truncated = decomposition.truncate(k)?;
         let sigma_row =
             Matrix::from_vec(1, k, truncated.singular_values.iter().copied().collect())?;
@@ -229,7 +233,10 @@ impl FactoredLinear {
 
     /// Number of scalar parameters (factored form).
     pub fn parameter_count(&self) -> usize {
-        self.u.value().len() + self.sigma.value().len() + self.vt.value().len() + self.bias.value().len()
+        self.u.value().len()
+            + self.sigma.value().len()
+            + self.vt.value().len()
+            + self.bias.value().len()
     }
 
     fn scale_by_sigma(&self, h: &Matrix) -> Matrix {
@@ -297,8 +304,14 @@ mod tests {
         let upstream = Matrix::random_normal(2, 4, 0.0, 1.0, &mut rng);
         let d_input = f.backward(&x, &upstream).unwrap();
         let probe = f.clone();
-        let loss =
-            |input: &Matrix| -> f32 { probe.forward(input).unwrap().hadamard(&upstream).unwrap().sum() };
+        let loss = |input: &Matrix| -> f32 {
+            probe
+                .forward(input)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
         for r in 0..x.rows() {
             for c in 0..x.cols() {
                 let mut plus = x.clone();
@@ -329,7 +342,12 @@ mod tests {
                 let v = minus.sigma.value().at(0, k) - 1e-3;
                 minus.sigma.value_mut().set(0, k, v);
                 let loss_p = plus.forward(&x).unwrap().hadamard(&upstream).unwrap().sum();
-                let loss_m = minus.forward(&x).unwrap().hadamard(&upstream).unwrap().sum();
+                let loss_m = minus
+                    .forward(&x)
+                    .unwrap()
+                    .hadamard(&upstream)
+                    .unwrap()
+                    .sum();
                 (loss_p - loss_m) / 2e-3
             };
             assert!(
@@ -359,7 +377,10 @@ mod tests {
         let inputs: Vec<Matrix> = (0..16)
             .map(|_| Matrix::random_normal(1, 4, 0.0, 1.0, &mut rng))
             .collect();
-        let targets: Vec<f32> = inputs.iter().map(|x| 2.0 * x.at(0, 0) - x.at(0, 3)).collect();
+        let targets: Vec<f32> = inputs
+            .iter()
+            .map(|x| 2.0 * x.at(0, 0) - x.at(0, 3))
+            .collect();
         let loss_of = |f: &FactoredLinear| -> f32 {
             inputs
                 .iter()

@@ -116,7 +116,11 @@ mod tests {
         let mut ffn_mut = ffn.clone();
         let d_input = ffn_mut.backward(&x, &upstream).unwrap();
         let loss = |input: &Matrix| -> f32 {
-            ffn.forward(input).unwrap().hadamard(&upstream).unwrap().sum()
+            ffn.forward(input)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
         };
         for r in 0..x.rows() {
             for c in 0..x.cols() {
@@ -167,7 +171,12 @@ mod tests {
                 .iter()
                 .map(|x| {
                     let y = ffn.forward(x).unwrap();
-                    y.add(x).unwrap().as_slice().iter().map(|v| v * v).sum::<f32>()
+                    y.add(x)
+                        .unwrap()
+                        .as_slice()
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
                 })
                 .sum::<f32>()
                 / inputs.len() as f32

@@ -293,8 +293,11 @@ impl LayerNorm {
                 self.beta.value().row(0),
                 self.epsilon,
             );
-            let grads =
-                activations::layer_norm_backward(&forward, self.gamma.value().row(0), grad_out.row(r));
+            let grads = activations::layer_norm_backward(
+                &forward,
+                self.gamma.value().row(0),
+                grad_out.row(r),
+            );
             d_input.row_mut(r).copy_from_slice(&grads.d_input);
             for c in 0..x.cols() {
                 d_gamma.set(0, c, d_gamma.at(0, c) + grads.d_gamma[c]);
@@ -382,7 +385,11 @@ impl Embedding {
                 )));
             }
             for c in 0..dim {
-                out.set(i, c, self.table.value().at(tok, c) + self.positions.value().at(i, c));
+                out.set(
+                    i,
+                    c,
+                    self.table.value().at(tok, c) + self.positions.value().at(i, c),
+                );
             }
         }
         Ok(out)
@@ -546,8 +553,14 @@ mod tests {
         let upstream = Matrix::random_normal(3, 5, 0.0, 1.0, &mut rng);
         let d_input = ln.backward(&x, &upstream).unwrap();
         let probe = LayerNorm::new(5);
-        let loss =
-            |input: &Matrix| -> f32 { probe.forward(input).unwrap().hadamard(&upstream).unwrap().sum() };
+        let loss = |input: &Matrix| -> f32 {
+            probe
+                .forward(input)
+                .unwrap()
+                .hadamard(&upstream)
+                .unwrap()
+                .sum()
+        };
         finite_difference_check(loss, &x, &d_input, 2e-2);
     }
 

@@ -39,10 +39,7 @@ impl TaskMetrics {
     pub fn classification(predicted: &[usize], actual: &[usize]) -> Self {
         let accuracy = stats::accuracy(predicted, actual);
         // Binary confusion-matrix metrics when the label space is {0, 1}.
-        let is_binary = predicted
-            .iter()
-            .chain(actual.iter())
-            .all(|&c| c < 2);
+        let is_binary = predicted.iter().chain(actual.iter()).all(|&c| c < 2);
         let (matthews, f1) = if is_binary && !predicted.is_empty() {
             let p: Vec<bool> = predicted.iter().map(|&c| c == 1).collect();
             let a: Vec<bool> = actual.iter().map(|&c| c == 1).collect();

@@ -71,7 +71,9 @@ impl TransformerModel {
             ),
         };
         let blocks = (0..config.num_layers)
-            .map(|_| TransformerBlock::new(config.hidden_dim, config.ffn_dim, config.num_heads, rng))
+            .map(|_| {
+                TransformerBlock::new(config.hidden_dim, config.ffn_dim, config.num_heads, rng)
+            })
             .collect::<Result<Vec<_>>>()?;
         let head_outputs = config.task.head_outputs(config.vocab_size);
         Ok(TransformerModel {
@@ -108,7 +110,10 @@ impl TransformerModel {
 
     /// Immutable access to every static linear layer.
     pub fn static_linears(&self) -> Vec<&AnyLinear> {
-        self.blocks.iter().flat_map(|b| b.static_linears()).collect()
+        self.blocks
+            .iter()
+            .flat_map(|b| b.static_linears())
+            .collect()
     }
 
     /// Total scalar parameter count.
@@ -177,7 +182,11 @@ impl TransformerModel {
     /// # Errors
     ///
     /// Returns input/shape errors.
-    pub fn forward_backward(&mut self, input: &ModelInput, d_logits_of: &mut dyn FnMut(&Matrix) -> Matrix) -> Result<(Matrix, Matrix)> {
+    pub fn forward_backward(
+        &mut self,
+        input: &ModelInput,
+        d_logits_of: &mut dyn FnMut(&Matrix) -> Matrix,
+    ) -> Result<(Matrix, Matrix)> {
         let causal = self.config.is_causal();
         // Forward, caching each block input.
         let x0 = self.embed(input)?;
@@ -290,7 +299,9 @@ mod tests {
     #[test]
     fn classification_forward_produces_one_row_of_logits() {
         let model = tiny_model(1);
-        let logits = model.forward(&ModelInput::Tokens(vec![1, 5, 9, 2])).unwrap();
+        let logits = model
+            .forward(&ModelInput::Tokens(vec![1, 5, 9, 2]))
+            .unwrap();
         assert_eq!(logits.shape(), (1, 3));
     }
 
@@ -298,7 +309,9 @@ mod tests {
     fn lm_forward_produces_per_position_logits() {
         let mut rng = Rng::seed_from(2);
         let model = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
-        let logits = model.forward(&ModelInput::Tokens(vec![3, 1, 4, 1, 5])).unwrap();
+        let logits = model
+            .forward(&ModelInput::Tokens(vec![3, 1, 4, 1, 5]))
+            .unwrap();
         assert_eq!(logits.shape(), (5, 64));
     }
 
@@ -321,9 +334,7 @@ mod tests {
             .forward(&ModelInput::Features(Matrix::zeros(2, 2)))
             .is_err());
         assert!(model.forward(&ModelInput::Tokens(vec![1000])).is_err());
-        assert!(model
-            .forward(&ModelInput::Tokens(vec![0; 17]))
-            .is_err());
+        assert!(model.forward(&ModelInput::Tokens(vec![0; 17])).is_err());
     }
 
     #[test]
@@ -352,13 +363,10 @@ mod tests {
         assert_eq!(logits.shape(), (1, 3));
         assert_eq!(d_logits.shape(), (1, 3));
         // The head weight gradient should now be non-zero.
-        let any_grad = model
-            .static_linears()
-            .iter()
-            .any(|l| match l {
-                AnyLinear::Dense(d) => d.weight_param().grad().max_abs() > 0.0,
-                AnyLinear::Factored(_) => false,
-            });
+        let any_grad = model.static_linears().iter().any(|l| match l {
+            AnyLinear::Dense(d) => d.weight_param().grad().max_abs() > 0.0,
+            AnyLinear::Factored(_) => false,
+        });
         assert!(any_grad, "expected gradients to accumulate in block layers");
     }
 

@@ -151,7 +151,12 @@ impl Param {
     /// Mean absolute accumulated gradient, a scalar importance signal.
     pub fn mean_abs_grad(&self) -> f64 {
         let n = self.grad.len() as f64;
-        self.grad.as_slice().iter().map(|g| g.abs() as f64).sum::<f64>() / n
+        self.grad
+            .as_slice()
+            .iter()
+            .map(|g| g.abs() as f64)
+            .sum::<f64>()
+            / n
     }
 }
 

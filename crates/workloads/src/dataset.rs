@@ -25,7 +25,11 @@ impl Dataset {
     }
 
     /// Splits a flat sample list into train/eval with the given eval fraction.
-    pub fn from_samples(name: impl Into<String>, mut samples: Vec<Sample>, eval_fraction: f64) -> Self {
+    pub fn from_samples(
+        name: impl Into<String>,
+        mut samples: Vec<Sample>,
+        eval_fraction: f64,
+    ) -> Self {
         let eval_len = ((samples.len() as f64) * eval_fraction.clamp(0.0, 1.0)).round() as usize;
         let eval = samples.split_off(samples.len().saturating_sub(eval_len));
         Dataset {

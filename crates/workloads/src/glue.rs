@@ -124,11 +124,30 @@ impl Default for GlueConfig {
 ///
 /// The generator is fully determined by `(task, config, seed)`.
 pub fn generate(task: GlueTask, config: &GlueConfig, seed: u64) -> Dataset {
-    let mut rng = Rng::seed_from(seed.wrapping_mul(0x9e37_79b9).wrapping_add(task.seed_offset()));
+    // The signal-token pool is `vocab_size / 4 - 1` values; two distinct
+    // class tokens must exist or the rejection loop below cannot terminate.
+    assert!(
+        config.vocab_size / 4 - 1 >= 2,
+        "GlueConfig.vocab_size must be >= 12 so two distinct signal tokens exist, got {}",
+        config.vocab_size
+    );
+    let mut rng = Rng::seed_from(
+        seed.wrapping_mul(0x9e37_79b9)
+            .wrapping_add(task.seed_offset()),
+    );
     // Two class-specific signal tokens drawn from the first quarter of the
     // vocabulary; filler tokens come from the rest.
     let signal_positive = 1 + rng.below(config.vocab_size / 4 - 1);
-    let signal_negative = 1 + rng.below(config.vocab_size / 4 - 1);
+    // The negative-class token must differ from the positive one, otherwise
+    // both classes plant the same signal and the task collapses to label
+    // noise. Rejection sampling keeps the stream identical for the (vast
+    // majority of) seeds where the first draw already differs.
+    let signal_negative = loop {
+        let candidate = 1 + rng.below(config.vocab_size / 4 - 1);
+        if candidate != signal_positive {
+            break candidate;
+        }
+    };
     let total = config.train_samples + config.eval_samples;
     let mut samples = Vec::with_capacity(total);
     for _ in 0..total {
@@ -151,7 +170,11 @@ pub fn generate(task: GlueTask, config: &GlueConfig, seed: u64) -> Dataset {
             });
         } else {
             let mut label = rng.below(2);
-            let signal = if label == 1 { signal_positive } else { signal_negative };
+            let signal = if label == 1 {
+                signal_positive
+            } else {
+                signal_negative
+            };
             // Plant 2-3 signal tokens for the true class.
             let plant_count = 2 + rng.below(2);
             for _ in 0..plant_count {
@@ -169,7 +192,11 @@ pub fn generate(task: GlueTask, config: &GlueConfig, seed: u64) -> Dataset {
         }
     }
     let eval_fraction = config.eval_samples as f64 / total as f64;
-    Dataset::from_samples(format!("{} (synthetic)", task.name()), samples, eval_fraction)
+    Dataset::from_samples(
+        format!("{} (synthetic)", task.name()),
+        samples,
+        eval_fraction,
+    )
 }
 
 /// Generates all seven GLUE stand-in datasets with a shared seed.

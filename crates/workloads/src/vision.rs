@@ -54,8 +54,13 @@ pub fn generate(config: &VisionConfig, seed: u64) -> Dataset {
     let samples: Vec<Sample> = (0..total)
         .map(|_| {
             let class = rng.below(config.num_classes);
-            let noise =
-                Matrix::random_normal(config.patches, config.patch_dim, 0.0, config.noise_std, &mut rng);
+            let noise = Matrix::random_normal(
+                config.patches,
+                config.patch_dim,
+                0.0,
+                config.noise_std,
+                &mut rng,
+            );
             let image = prototypes[class]
                 .add(&noise)
                 .expect("prototype and noise share a shape");

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     trainer.train(&mut model, &dataset.train, 4)?;
     let dense_eval = trainer.evaluate(&model, &dataset.eval)?;
-    println!("dense model accuracy:            {:.3}", dense_eval.metrics.primary_value());
+    println!(
+        "dense model accuracy:            {:.3}",
+        dense_eval.metrics.primary_value()
+    );
 
     // 2. Gradient redistribution (Algorithm 1).
     let pipeline = GradientRedistribution {

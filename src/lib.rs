@@ -1,0 +1,26 @@
+//! # hyflex
+//!
+//! Workspace facade for the HyFlexPIM reproduction.
+//!
+//! This crate exists so the repository root can host the cross-crate
+//! integration tests (`tests/`) and the runnable examples (`examples/`); it
+//! re-exports every member crate under a short alias so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use hyflex::tensor::Matrix;
+//! use hyflex::pim::HyFlexPimConfig;
+//!
+//! let config = HyFlexPimConfig::default();
+//! assert!(config.validate().is_ok());
+//! let m = Matrix::zeros(2, 3);
+//! assert_eq!((m.rows(), m.cols()), (2, 3));
+//! ```
+
+pub use hyflex_baselines as baselines;
+pub use hyflex_circuits as circuits;
+pub use hyflex_pim as pim;
+pub use hyflex_rram as rram;
+pub use hyflex_tensor as tensor;
+pub use hyflex_transformer as transformer;
+pub use hyflex_workloads as workloads;

@@ -40,7 +40,9 @@ fn full_software_hardware_pipeline_runs_end_to_end() {
         finetune_epochs: 2,
         ..GradientRedistribution::new(trainer)
     };
-    let report = pipeline.apply(&mut model, &dataset.train, &dataset.eval).unwrap();
+    let report = pipeline
+        .apply(&mut model, &dataset.train, &dataset.eval)
+        .unwrap();
     assert_eq!(report.layer_profiles.len(), 12);
     assert!(report.eval_finetuned.metrics.primary_value() > 0.55);
 
@@ -82,7 +84,9 @@ fn decoder_pipeline_runs_end_to_end() {
         finetune_epochs: 1,
         ..GradientRedistribution::new(trainer)
     };
-    let report = pipeline.apply(&mut model, &dataset.train, &dataset.eval).unwrap();
+    let report = pipeline
+        .apply(&mut model, &dataset.train, &dataset.eval)
+        .unwrap();
 
     let simulator = NoiseSimulator::paper_default();
     // The paper uses up to 20% SLC for decoder models.
@@ -128,7 +132,9 @@ fn vision_pipeline_runs_end_to_end() {
         finetune_epochs: 1,
         ..GradientRedistribution::new(trainer)
     };
-    let report = pipeline.apply(&mut model, &dataset.train, &dataset.eval).unwrap();
+    let report = pipeline
+        .apply(&mut model, &dataset.train, &dataset.eval)
+        .unwrap();
     assert!(report.eval_finetuned.metrics.primary_value() > 0.3);
     let simulator = NoiseSimulator::paper_default();
     let (noisy, _) = simulator

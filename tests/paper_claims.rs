@@ -72,7 +72,10 @@ fn linear_layer_energy_gain_over_asadi_shrinks_with_slc_rate() {
     };
     let at_5 = gain(0.05);
     let at_50 = gain(0.50);
-    assert!(at_5 > at_50, "gain should shrink with SLC rate: {at_5:.2} vs {at_50:.2}");
+    assert!(
+        at_5 > at_50,
+        "gain should shrink with SLC rate: {at_5:.2} vs {at_50:.2}"
+    );
     assert!(at_5 > 1.1 && at_5 < 2.0, "gain at 5% SLC: {at_5:.2}");
 }
 
@@ -84,8 +87,14 @@ fn end_to_end_energy_beats_all_baselines() {
     let model = ModelConfig::bert_large();
     let hyflex = HyFlexPimAccelerator::new(0.05);
     let ours = hyflex.end_to_end_energy(&model, 128).unwrap().total_pj();
-    let sprint = Sprint::new().end_to_end_energy(&model, 128).unwrap().total_pj();
-    let non_pim = NonPim::new().end_to_end_energy(&model, 128).unwrap().total_pj();
+    let sprint = Sprint::new()
+        .end_to_end_energy(&model, 128)
+        .unwrap()
+        .total_pj();
+    let non_pim = NonPim::new()
+        .end_to_end_energy(&model, 128)
+        .unwrap()
+        .total_pj();
     assert!(ours < sprint);
     assert!(ours < non_pim);
     assert!(
@@ -109,7 +118,10 @@ fn speedup_over_sprint_is_large_and_shrinks_with_sequence_length() {
     let short = speedup(128);
     let long = speedup(4096);
     assert!(short > 5.0, "short-sequence speedup {short:.1}");
-    assert!(short > long, "advantage should shrink with N: {short:.1} vs {long:.1}");
+    assert!(
+        short > long,
+        "advantage should shrink with N: {short:.1} vs {long:.1}"
+    );
 }
 
 /// Figure 17: two PUs per layer give ~1.99x throughput; quad- and octa-chip

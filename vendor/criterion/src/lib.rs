@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements exactly the surface the workspace benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of criterion's statistical analysis, each benchmark runs
+//! a short calibration pass followed by a fixed number of timed batches and
+//! prints the median per-iteration wall-clock time. That keeps
+//! `cargo bench` useful for relative comparisons while building offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Number of timed batches per benchmark.
+const BATCHES: usize = 7;
+/// Target wall-clock time per batch.
+const BATCH_TARGET: Duration = Duration::from_millis(40);
+
+/// Minimal benchmark driver with criterion's method names.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), f);
+        self
+    }
+
+    /// Opens a named group; group benchmarks print as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.into()), f);
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters_per_batch: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            iters_per_batch: 1,
+            samples: Vec::new(),
+            calibrating: true,
+        }
+    }
+
+    /// Times `routine`, first calibrating the batch size so each timed batch
+    /// runs for roughly [`BATCH_TARGET`].
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.calibrating {
+            // Double the batch size until one batch is long enough to time.
+            let mut iters: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= BATCH_TARGET || iters >= 1 << 24 {
+                    self.iters_per_batch = iters.max(1);
+                    break;
+                }
+                iters = iters.saturating_mul(2);
+            }
+            self.calibrating = false;
+        }
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std_black_box(routine());
+            }
+            let per_iter = start.elapsed() / u32::try_from(self.iters_per_batch).unwrap_or(1);
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("bench {id:<48} median {}", format_duration(median));
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Matches criterion's simple `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Matches criterion's `criterion_main!(group, ...)` form.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,182 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the surface the workspace's property tests use — the
+//! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`strategy::Strategy`] with `prop_map`, [`any`], numeric range strategies,
+//! tuple strategies, and [`collection::vec`] — backed by a fixed-seed
+//! deterministic generator instead of shrinking-capable random exploration.
+//! Every `cargo test` run therefore exercises the identical case set, which
+//! is exactly what the workspace wants for reproducible CI.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a vector strategy, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !size.is_empty(),
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end - self.size.start;
+            let len = self.size.start + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        // Finite values only; property tests here never want NaN/inf inputs.
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Mirrors `proptest::prelude::any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 16 }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($config:expr)
+      $( $(#[$meta:meta])* fn $name:ident
+         ( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Fixed stream per property (named by the function) so every
+                // run and every property sees its own reproducible cases.
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Mirrors `prop_assert!`; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,59 @@
+//! Deterministic random source for the proptest stand-in.
+
+/// SplitMix64-based deterministic generator.
+///
+/// Every property test derives its stream from the property's name, so test
+/// order, thread count, and repetition never change the cases a property
+/// sees.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed global seed; combined with the property name via FNV-1a.
+    const GLOBAL_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Stream seeded from a property name.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ Self::GLOBAL_SEED,
+        }
+    }
+
+    /// Stream from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        // 53 mantissa bits of a u64 → uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Error type mirroring `proptest::test_runner::TestCaseError` (unused by the
+/// panic-based stub runner, kept for API familiarity).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros from the stub `serde_derive`. Blanket implementations
+//! make every type satisfy the traits, so generic bounds written against
+//! them (should any appear later) keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de`, so `use serde::de::DeserializeOwned` resolves.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

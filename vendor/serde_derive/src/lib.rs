@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` so configuration
+//! types keep the annotation they would carry with real serde; nothing ever
+//! serializes a value. The derives therefore expand to nothing, which keeps
+//! the build dependency-free and network-free. The `serde` helper attribute
+//! is accepted (and ignored) so field annotations remain legal.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
