@@ -1,13 +1,15 @@
 //! Figure 2: number of operations per transformer stage vs sequence length.
 
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ops_count::{self, Stage};
 use hyflex_transformer::ModelConfig;
 
 fn main() {
+    let args = BinArgs::parse();
+    args.init_output();
     let model = ModelConfig::bert_base();
     let lengths = [128usize, 512, 1024, 2048, 3072];
-    println!("Figure 2 — operations per stage (BERT-Base, x1e8 operations)");
+    emitln!("Figure 2 — operations per stage (BERT-Base, x1e8 operations)");
     print_row(
         "Stage",
         &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
@@ -26,9 +28,9 @@ fn main() {
             .collect();
         print_row(stage.label(), &values);
     }
-    println!();
+    emitln!();
     for &n in &lengths {
-        println!(
+        emitln!(
             "N={n:<5} static-weight share of operations: {:.1}%",
             100.0 * ops_count::static_weight_fraction(&model, n)
         );

@@ -1,7 +1,7 @@
 //! Figure 11: gradient distribution before SVD, after SVD without the hard
 //! threshold, and after hard-threshold truncation plus fine-tuning.
 
-use hyflex_bench::run_functional_experiment;
+use hyflex_bench::{emitln, run_functional_experiment, BinArgs};
 use hyflex_pim::gradient_redistribution::{GradientRedistribution, TruncationPolicy};
 use hyflex_tensor::rng::Rng;
 use hyflex_transformer::{AdamWConfig, ModelConfig, Trainer, TransformerModel};
@@ -15,7 +15,7 @@ fn summarize(label: &str, gradients: &[f64]) {
     let top10: f64 = sorted.iter().take(top10_count.max(1)).sum();
     let max = sorted.first().copied().unwrap_or(0.0);
     let mean = total / gradients.len().max(1) as f64;
-    println!(
+    emitln!(
         "{label:<42} entries={:<5} max/mean={:<8.2} top-10% share={:.1}%",
         gradients.len(),
         if mean > 0.0 { max / mean } else { 0.0 },
@@ -24,9 +24,11 @@ fn summarize(label: &str, gradients: &[f64]) {
 }
 
 fn main() {
-    let seed = 11;
+    let args = BinArgs::parse();
+    args.init_output();
+    let seed = args.seed_or(11);
     let dataset = glue::generate(GlueTask::Mrpc, &GlueConfig::default(), seed);
-    println!("Figure 11 — gradient redistribution (tiny encoder, synthetic MRPC)");
+    emitln!("Figure 11 — gradient redistribution (tiny encoder, synthetic MRPC)");
 
     // (a) Before SVD: per-weight gradients of the first row of the first FC layer.
     let mut rng = Rng::seed_from(seed);
@@ -73,7 +75,7 @@ fn main() {
         "(c) after SVD + hard threshold + fine-tune",
         &experiment.report.layer_profiles[0].sigma_gradients,
     );
-    println!(
+    emitln!(
         "mean top-10% gradient concentration across all layers: {:.1}%",
         100.0 * experiment.report.mean_concentration(0.10)
     );

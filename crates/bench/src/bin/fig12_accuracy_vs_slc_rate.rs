@@ -4,32 +4,26 @@
 //! WikiText-2 stand-in), and a vision task (synthetic CIFAR-10 stand-in) are
 //! fine-tuned through the gradient-redistribution pipeline and evaluated
 //! under the hybrid SLC/MLC noise model at protection rates from 0 % to
-//! 100 %. Pass `--mlc-bits 3` (or 4) to run the higher-level-MLC ablation.
+//! 100 %. The rate × seed grid is evaluated in parallel on the
+//! `hyflex-runtime` worker pool; per-point seeding keeps the numbers
+//! bit-identical to the serial sweep. Common flags: `--mlc-bits 3|4` for the
+//! higher-level-MLC ablation, `--threads N`, `--seed N`, `--out PATH`.
 
-use hyflex_bench::{fmt, print_row, run_functional_experiment};
+use hyflex_bench::{emitln, fmt, print_row, run_functional_experiment, BinArgs};
+use hyflex_pim::noise_sim::SweepPoint;
 use hyflex_pim::noise_sim::{HybridMappingSpec, NoiseSimulator};
 use hyflex_pim::selection::SelectionStrategy;
 use hyflex_rram::cell::CellMode;
+use hyflex_runtime::{par_noise_sweep, JobPool};
 use hyflex_transformer::ModelConfig;
 use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
 use hyflex_workloads::{lm, vision};
 
 const RATES: [f64; 7] = [0.0, 0.05, 0.10, 0.30, 0.40, 0.50, 1.0];
-
-fn mlc_mode_from_args() -> CellMode {
-    let mut mode = CellMode::MLC2;
-    let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--mlc-bits") {
-        if let Some(bits) = args.get(pos + 1).and_then(|s| s.parse::<u8>().ok()) {
-            if (2..=4).contains(&bits) {
-                mode = CellMode::Mlc { bits };
-            }
-        }
-    }
-    mode
-}
+const SEEDS_PER_RATE: u64 = 3;
 
 fn sweep(
+    pool: &JobPool,
     name: &str,
     model: ModelConfig,
     dataset: hyflex_workloads::Dataset,
@@ -39,47 +33,46 @@ fn sweep(
     let experiment = run_functional_experiment(model, dataset, 4, 2, seed).expect("experiment");
     let simulator = NoiseSimulator::paper_default();
     let baseline = experiment.report.eval_finetuned.metrics.primary_value();
-    let values: Vec<String> = RATES
-        .iter()
-        .map(|&rate| {
-            // Average a few noise seeds to smooth the small synthetic tasks.
-            let mean = (0..3)
-                .map(|s| {
-                    let spec = HybridMappingSpec {
-                        protection_rate: rate,
-                        strategy: SelectionStrategy::GradientBased,
-                        mlc_mode: mlc,
-                        quantize_int8: true,
-                    };
-                    simulator
-                        .evaluate(
-                            &experiment.model,
-                            &experiment.report.layer_profiles,
-                            &spec,
-                            &experiment.dataset.eval,
-                            seed * 100 + s,
-                        )
-                        .expect("noise evaluation")
-                        .0
-                        .metrics
-                        .primary_value()
-                })
-                .sum::<f64>()
-                / 3.0;
+    let base = HybridMappingSpec {
+        protection_rate: 0.0,
+        strategy: SelectionStrategy::GradientBased,
+        mlc_mode: mlc,
+        quantize_int8: true,
+    };
+    // Average a few noise seeds per rate to smooth the small synthetic tasks.
+    let points = SweepPoint::grid(&RATES, SEEDS_PER_RATE, seed * 100);
+    let outcomes = par_noise_sweep(
+        pool,
+        &simulator,
+        &experiment.model,
+        &experiment.report.layer_profiles,
+        &base,
+        &experiment.dataset.eval,
+        &points,
+    )
+    .expect("noise evaluation");
+    let values: Vec<String> = outcomes
+        .chunks(SEEDS_PER_RATE as usize)
+        .map(|chunk| {
+            let mean = chunk.iter().map(|o| o.primary_metric).sum::<f64>() / chunk.len() as f64;
             fmt(mean, 3)
         })
         .collect();
     print_row(name, &values);
-    println!("{:<28} baseline (no PIM noise): {:.3}", "", baseline);
+    emitln!("{:<28} baseline (no PIM noise): {:.3}", "", baseline);
 }
 
 fn main() {
-    let mlc = mlc_mode_from_args();
-    println!(
-        "Figure 12 — task quality vs SLC protection rate (MLC = {}-bit cells)",
-        mlc.bits_per_cell()
+    let args = BinArgs::parse();
+    args.init_output();
+    let pool = args.pool();
+    let mlc = args.mlc_mode();
+    emitln!(
+        "Figure 12 — task quality vs SLC protection rate (MLC = {}-bit cells, {} workers)",
+        mlc.bits_per_cell(),
+        pool.workers()
     );
-    println!("Metric: accuracy (classification), Pearson (STS-B), -loss (LM); higher is better.");
+    emitln!("Metric: accuracy (classification), Pearson (STS-B), -loss (LM); higher is better.");
     print_row(
         "Task",
         &RATES
@@ -96,35 +89,49 @@ fn main() {
         GlueTask::Sst2,
         GlueTask::Rte,
     ] {
-        let dataset = glue::generate(task, &glue_config, 21);
-        sweep(task.name(), ModelConfig::tiny_encoder(2), dataset, mlc, 21);
+        let seed = args.seed_or(21);
+        let dataset = glue::generate(task, &glue_config, seed);
+        sweep(
+            &pool,
+            task.name(),
+            ModelConfig::tiny_encoder(2),
+            dataset,
+            mlc,
+            seed,
+        );
     }
-    let stsb = glue::generate(GlueTask::Stsb, &glue_config, 22);
+    let stsb_seed = args.seed_or(22);
+    let stsb = glue::generate(GlueTask::Stsb, &glue_config, stsb_seed);
     sweep(
+        &pool,
         "STS-B",
         ModelConfig::tiny_encoder_regression(),
         stsb,
         mlc,
-        22,
+        stsb_seed,
     );
 
     // (b) Decoder: synthetic WikiText-2 stand-in on the tiny decoder.
-    let wiki = lm::wikitext2_dataset(23);
+    let wiki_seed = args.seed_or(23);
+    let wiki = lm::wikitext2_dataset(wiki_seed);
     sweep(
+        &pool,
         "WikiText-2 (GPT-2 proxy)",
         ModelConfig::tiny_decoder(),
         wiki,
         mlc,
-        23,
+        wiki_seed,
     );
 
     // Vision: synthetic CIFAR-10 stand-in on the tiny ViT.
-    let cifar = vision::generate(&vision::VisionConfig::default(), 24);
+    let vit_seed = args.seed_or(24);
+    let cifar = vision::generate(&vision::VisionConfig::default(), vit_seed);
     sweep(
+        &pool,
         "CIFAR-10 (ViT proxy)",
         ModelConfig::tiny_vit(10),
         cifar,
         mlc,
-        24,
+        vit_seed,
     );
 }

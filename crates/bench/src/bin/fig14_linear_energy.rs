@@ -2,18 +2,20 @@
 //! sequence lengths and SLC protection rates.
 
 use hyflex_baselines::{all_accelerators, Accelerator, NonPim};
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ModelConfig;
 
 fn main() {
+    let args = BinArgs::parse();
+    args.init_output();
     let model = ModelConfig::bert_large();
     let lengths = [128usize, 512, 1024, 2048, 4096, 8192];
     let slc_rates = [0.05, 0.10, 0.30, 0.40, 0.50];
-    println!("Figure 14 — linear-layer energy, normalized to the non-PIM baseline (%)");
-    println!("Model: {} (lower is better)", model.name);
+    emitln!("Figure 14 — linear-layer energy, normalized to the non-PIM baseline (%)");
+    emitln!("Model: {} (lower is better)", model.name);
 
     for &n in &lengths {
-        println!("\nSequence length N = {n}");
+        emitln!("\nSequence length N = {n}");
         let reference = NonPim::new()
             .linear_layer_energy_pj(&model, n)
             .expect("baseline energy");

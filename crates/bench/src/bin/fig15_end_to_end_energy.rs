@@ -1,12 +1,12 @@
 //! Figure 15: end-to-end energy comparison and HyFlexPIM component breakdown.
 
 use hyflex_baselines::{all_accelerators, Accelerator, HyFlexPimAccelerator};
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ModelConfig;
 
 fn comparison(model: &ModelConfig, slc_rate: f64) {
     let lengths = [128usize, 512, 1024];
-    println!(
+    emitln!(
         "\nEnd-to-end energy for {} (HyFlexPIM at {}% SLC), normalized to HyFlexPIM = 1.0",
         model.name,
         (slc_rate * 100.0) as u32
@@ -39,7 +39,7 @@ fn comparison(model: &ModelConfig, slc_rate: f64) {
 }
 
 fn breakdown(model: &ModelConfig, slc_rate: f64) {
-    println!(
+    emitln!(
         "\nHyFlexPIM component breakdown for {} at {}% SLC (% of total energy)",
         model.name,
         (slc_rate * 100.0) as u32
@@ -74,7 +74,9 @@ fn breakdown(model: &ModelConfig, slc_rate: f64) {
 }
 
 fn main() {
-    println!("Figure 15 — end-to-end energy comparison and breakdown");
+    let args = BinArgs::parse();
+    args.init_output();
+    emitln!("Figure 15 — end-to-end energy comparison and breakdown");
     // (a, b): BERT-Large at 5% SLC.
     let bert = ModelConfig::bert_large();
     comparison(&bert, 0.05);

@@ -1,7 +1,9 @@
 //! Figure 16: throughput (TOPS/mm²) speedup over ASADI† and SPRINT.
+//!
+//! Common flags: `--out PATH` (tee rows to a file).
 
 use hyflex_baselines::{Accelerator, Asadi, AsadiPrecision, HyFlexPimAccelerator, Sprint};
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ModelConfig;
 
 fn sweep(title: &str, model: &ModelConfig) {
@@ -9,7 +11,7 @@ fn sweep(title: &str, model: &ModelConfig) {
     let slc_rates = [0.05, 0.10, 0.30, 0.40, 0.50];
     let asadi = Asadi::new(AsadiPrecision::Int8);
     let sprint = Sprint::new();
-    println!("\n{title}: normalized TOPS/mm^2 of HyFlexPIM vs ASADI\u{2020} and SPRINT");
+    emitln!("\n{title}: normalized TOPS/mm^2 of HyFlexPIM vs ASADI\u{2020} and SPRINT");
     print_row(
         "SLC rate / N",
         &lengths.iter().map(|n| format!("N={n}")).collect::<Vec<_>>(),
@@ -47,7 +49,9 @@ fn sweep(title: &str, model: &ModelConfig) {
 }
 
 fn main() {
-    println!("Figure 16 — throughput speedup (TOPS/mm^2)");
+    let args = BinArgs::parse();
+    args.init_output();
+    emitln!("Figure 16 — throughput speedup (TOPS/mm^2)");
     // (a) GLUE proxy: BERT-Large; (b) WikiText-2 proxy: GPT-2.
     sweep("(a) GLUE / BERT-Large", &ModelConfig::bert_large());
     sweep("(b) WikiText-2 / GPT-2", &ModelConfig::gpt2_small());

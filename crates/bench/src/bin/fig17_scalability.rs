@@ -1,12 +1,14 @@
 //! Figure 17: memory requirements and throughput scalability at N = 8192.
 
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_pim::scalability::ScalabilityModel;
 use hyflex_transformer::ModelConfig;
 
 fn main() {
+    let args = BinArgs::parse();
+    args.init_output();
     let model = ScalabilityModel::paper_default();
-    println!("Figure 17 — memory requirements and throughput scalability (N = 8192)");
+    emitln!("Figure 17 — memory requirements and throughput scalability (N = 8192)");
 
     print_row(
         "Model",
@@ -30,7 +32,7 @@ fn main() {
         );
     }
 
-    println!("\nThroughput scaling (normalized):");
+    emitln!("\nThroughput scaling (normalized):");
     print_row(
         "Configuration",
         &["achieved".to_string(), "ideal".to_string()],

@@ -1,10 +1,12 @@
 //! Table 1: fine-tuning hyper-parameters.
 
-use hyflex_bench::print_row;
+use hyflex_bench::{emitln, print_row, BinArgs};
 use hyflex_pim::finetune::HyperParams;
 
 fn main() {
-    println!("Table 1 — fine-tuning hyper-parameters");
+    let args = BinArgs::parse();
+    args.init_output();
+    emitln!("Table 1 — fine-tuning hyper-parameters");
     print_row(
         "Model",
         &[

@@ -1,12 +1,14 @@
 //! Table 2: hardware configuration and component-level area/power.
 
-use hyflex_bench::{fmt, print_row};
+use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_circuits::Table2;
 
 fn main() {
+    let args = BinArgs::parse();
+    args.init_output();
     let table = Table2::paper_65nm();
     for module in [&table.analog, &table.digital] {
-        println!("{} (65 nm)", module.name);
+        emitln!("{} (65 nm)", module.name);
         print_row(
             "Component",
             &[
@@ -37,9 +39,9 @@ fn main() {
                 module.modules_per_chip.to_string(),
             ],
         );
-        println!();
+        emitln!();
     }
-    println!(
+    emitln!(
         "Chip totals: {:.2} mm^2, {:.2} W",
         table.chip_area_mm2(),
         table.chip_power_mw() / 1000.0

@@ -1,0 +1,127 @@
+//! Shared command-line handling for the figure/table binaries.
+//!
+//! Before this module each binary hand-rolled its own `std::env::args` loop
+//! (seed constants, the `--mlc-bits` flag, ad-hoc output redirection). All
+//! binaries now accept the same flags:
+//!
+//! * `--seed N` — override the binary's default experiment seed;
+//! * `--mlc-bits B` — MLC cell level for ablations (2..=4, default 2);
+//! * `--out PATH` — tee every printed row to a file;
+//! * `--threads N` — worker-pool width for parallelized sweeps
+//!   (default: machine parallelism).
+
+use crate::output;
+use hyflex_rram::cell::CellMode;
+use hyflex_runtime::JobPool;
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BinArgs {
+    /// `--seed N`: experiment seed override.
+    pub seed: Option<u64>,
+    /// `--mlc-bits B`: bits per MLC cell for ablations.
+    pub mlc_bits: Option<u8>,
+    /// `--out PATH`: file to tee output rows into.
+    pub out: Option<PathBuf>,
+    /// `--threads N`: worker-pool width.
+    pub threads: Option<usize>,
+}
+
+impl BinArgs {
+    /// Parses the process arguments, ignoring flags it does not know.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument iterator (testable core of
+    /// [`BinArgs::parse`]).
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut parsed = BinArgs::default();
+        let value_of = |flag: &str| -> Option<&String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|pos| args.get(pos + 1))
+        };
+        parsed.seed = value_of("--seed").and_then(|v| v.parse().ok());
+        parsed.mlc_bits = value_of("--mlc-bits")
+            .and_then(|v| v.parse().ok())
+            .filter(|b| (2..=4).contains(b));
+        parsed.out = value_of("--out").map(PathBuf::from);
+        parsed.threads = value_of("--threads").and_then(|v| v.parse().ok());
+        parsed
+    }
+
+    /// The binary's seed, unless overridden on the command line.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The MLC cell mode selected by `--mlc-bits` (default 2-bit).
+    pub fn mlc_mode(&self) -> CellMode {
+        match self.mlc_bits {
+            Some(bits) => CellMode::Mlc { bits },
+            None => CellMode::MLC2,
+        }
+    }
+
+    /// Worker pool sized by `--threads` (default: machine parallelism).
+    pub fn pool(&self) -> JobPool {
+        match self.threads {
+            Some(threads) => JobPool::new(threads),
+            None => JobPool::with_default_parallelism(),
+        }
+    }
+
+    /// Applies the `--out` flag to the shared output sink. Call once at
+    /// binary start-up, before the first printed row.
+    pub fn init_output(&self) {
+        if let Some(path) = &self.out {
+            if let Err(e) = output::tee_to_file(path) {
+                eprintln!("warning: cannot open --out {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BinArgs {
+        BinArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags_and_ignores_unknown() {
+        let args = parse(&[
+            "--seed",
+            "99",
+            "--mlc-bits",
+            "3",
+            "--out",
+            "rows.txt",
+            "--threads",
+            "4",
+            "--verbose",
+        ]);
+        assert_eq!(args.seed_or(1), 99);
+        assert_eq!(args.mlc_mode(), CellMode::Mlc { bits: 3 });
+        assert_eq!(args.out.as_deref(), Some(std::path::Path::new("rows.txt")));
+        assert_eq!(args.pool().workers(), 4);
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_are_absent_or_invalid() {
+        let args = parse(&[]);
+        assert_eq!(args.seed_or(21), 21);
+        assert_eq!(args.mlc_mode(), CellMode::MLC2);
+        assert!(args.pool().workers() >= 1);
+        // Out-of-range MLC level falls back to the default.
+        let args = parse(&["--mlc-bits", "9"]);
+        assert_eq!(args.mlc_mode(), CellMode::MLC2);
+        let args = parse(&["--seed", "not-a-number"]);
+        assert_eq!(args.seed_or(5), 5);
+    }
+}

@@ -23,13 +23,20 @@ use hyflex_tensor::rng::Rng;
 use hyflex_transformer::{AdamWConfig, ModelConfig, Trainer, TransformerModel};
 use hyflex_workloads::Dataset;
 
-/// Prints a simple aligned table row.
+pub mod cli;
+pub mod output;
+
+pub use cli::BinArgs;
+pub use output::emit;
+
+/// Prints a simple aligned table row (to stdout and, when `--out` is set,
+/// the output file).
 pub fn print_row(label: &str, values: &[String]) {
-    print!("{label:<28}");
+    let mut line = format!("{label:<28}");
     for v in values {
-        print!(" {v:>12}");
+        line.push_str(&format!(" {v:>12}"));
     }
-    println!();
+    output::emit(&line);
 }
 
 /// Formats a float with the given number of decimals.

@@ -49,8 +49,8 @@ pub mod selection;
 pub use config::HyFlexPimConfig;
 pub use error::PimError;
 pub use gradient_redistribution::{GradientRedistribution, RedistributionReport};
-pub use noise_sim::{HybridMappingSpec, NoiseSimulator};
-pub use perf::{EvaluationPoint, PerformanceModel};
+pub use noise_sim::{HybridMappingSpec, NoiseSimulator, SweepOutcome, SweepPoint};
+pub use perf::{BatchPerfSummary, EvaluationPoint, PerformanceModel};
 pub use selection::SelectionStrategy;
 
 /// Convenience result alias used across the crate.

@@ -79,6 +79,44 @@ impl NoiseStats {
     }
 }
 
+/// One point of a protection-rate × seed accuracy sweep (Figure 12 style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// SLC protection rate for this point.
+    pub protection_rate: f64,
+    /// Noise seed for this point; the point's entire RNG stream derives from
+    /// it, making every point independent of evaluation order.
+    pub seed: u64,
+}
+
+impl SweepPoint {
+    /// The full rate × seed grid, seeds `base_seed..base_seed + seeds_per_rate`
+    /// for each rate, rate-major (matching the serial nested-loop order the
+    /// figure binaries used before the worker pool).
+    pub fn grid(rates: &[f64], seeds_per_rate: u64, base_seed: u64) -> Vec<SweepPoint> {
+        rates
+            .iter()
+            .flat_map(|&protection_rate| {
+                (0..seeds_per_rate).map(move |s| SweepPoint {
+                    protection_rate,
+                    seed: base_seed + s,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Result of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The evaluated point.
+    pub point: SweepPoint,
+    /// Primary task metric of the perturbed model (accuracy, Pearson, -loss).
+    pub primary_metric: f64,
+    /// SLC/MLC mapping statistics of the pass.
+    pub stats: NoiseStats,
+}
+
 /// The noise-injected inference simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NoiseSimulator {
@@ -205,6 +243,57 @@ impl NoiseSimulator {
         let stats = self.apply_to_model(&mut noisy, profiles, spec, &mut rng)?;
         let report = evaluate_model(&noisy, eval).map_err(PimError::from)?;
         Ok((report, stats))
+    }
+
+    /// Evaluates one sweep point: `base` with the point's protection rate,
+    /// perturbed and scored with the point's own seed.
+    ///
+    /// Each point derives its RNG purely from `point.seed`, so points are
+    /// independent and may be evaluated in any order — this is the
+    /// per-point entry used by both [`NoiseSimulator::evaluate_sweep`] and
+    /// the parallel driver in `hyflex-runtime`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping and evaluation errors.
+    pub fn evaluate_point(
+        &self,
+        model: &TransformerModel,
+        profiles: &[LayerGradientProfile],
+        base: &HybridMappingSpec,
+        eval: &[Sample],
+        point: SweepPoint,
+    ) -> Result<SweepOutcome> {
+        let spec = HybridMappingSpec {
+            protection_rate: point.protection_rate,
+            ..*base
+        };
+        let (report, stats) = self.evaluate(model, profiles, &spec, eval, point.seed)?;
+        Ok(SweepOutcome {
+            point,
+            primary_metric: report.metrics.primary_value(),
+            stats,
+        })
+    }
+
+    /// Serial protection-rate × seed sweep; the reference the parallel
+    /// driver in `hyflex-runtime` must match bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first point's error.
+    pub fn evaluate_sweep(
+        &self,
+        model: &TransformerModel,
+        profiles: &[LayerGradientProfile],
+        base: &HybridMappingSpec,
+        eval: &[Sample],
+        points: &[SweepPoint],
+    ) -> Result<Vec<SweepOutcome>> {
+        points
+            .iter()
+            .map(|&point| self.evaluate_point(model, profiles, base, eval, point))
+            .collect()
     }
 
     fn maybe_quantize(&self, m: &Matrix, quantize: bool) -> Matrix {
@@ -484,6 +573,36 @@ mod tests {
             mlc4 <= mlc2 + 0.02,
             "4-bit MLC ({mlc4:.3}) should not beat 2-bit MLC ({mlc2:.3})"
         );
+    }
+
+    #[test]
+    fn sweep_matches_per_point_evaluation_and_grid_is_rate_major() {
+        let fx = fixture();
+        let sim = NoiseSimulator::paper_default();
+        let base = HybridMappingSpec::gradient_based(0.0);
+        let points = SweepPoint::grid(&[0.0, 0.3], 2, 50);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].protection_rate, 0.0);
+        assert_eq!(points[0].seed, 50);
+        assert_eq!(points[1].seed, 51);
+        assert_eq!(points[2].protection_rate, 0.3);
+        let outcomes = sim
+            .evaluate_sweep(&fx.model, &fx.profiles, &base, &fx.eval, &points)
+            .unwrap();
+        assert_eq!(outcomes.len(), points.len());
+        for (point, outcome) in points.iter().zip(&outcomes) {
+            let lone = sim
+                .evaluate_point(&fx.model, &fx.profiles, &base, &fx.eval, *point)
+                .unwrap();
+            assert_eq!(outcome, &lone, "point {point:?} must be order-independent");
+        }
+        // The sweep must also agree with the pre-existing evaluate() API.
+        let spec = HybridMappingSpec::gradient_based(0.3);
+        let (report, stats) = sim
+            .evaluate(&fx.model, &fx.profiles, &spec, &fx.eval, 50)
+            .unwrap();
+        assert_eq!(outcomes[2].primary_metric, report.metrics.primary_value());
+        assert_eq!(outcomes[2].stats, stats);
     }
 
     #[test]

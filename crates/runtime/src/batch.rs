@@ -1,0 +1,321 @@
+//! Batched-inference scheduling onto the chip's PIM tiles.
+//!
+//! Static weights stay resident in the analog crossbar banks, so a batch of
+//! requests shares one weight read-out schedule; what each extra request
+//! consumes is **digital PIM capacity** — the per-layer dynamic data (Q, K,
+//! V, attention scores, FFN intermediate) must all be resident in the layer's
+//! digital arrays while the batch is in flight. [`BatchScheduler`] therefore
+//! admits requests FCFS into a batch until either the configured batch-size
+//! cap or the digital-cell capacity of the layer tile would be exceeded.
+
+use crate::error::RuntimeError;
+use crate::Result;
+use hyflex_pim::arch::Chip;
+use hyflex_pim::HyFlexPimConfig;
+use hyflex_transformer::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One inference request submitted to the runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Arrival time in nanoseconds since simulation start.
+    pub arrival_ns: f64,
+    /// Sequence length of the request.
+    pub seq_len: usize,
+}
+
+/// Batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Maximum number of requests per batch.
+    pub max_batch_size: usize,
+    /// How long a non-full batch may wait for more arrivals before
+    /// launching, nanoseconds.
+    pub max_wait_ns: f64,
+    /// Processing units provisioned per layer pipeline stage; scales the
+    /// digital-cell tile capacity available to one batch.
+    pub pus_per_layer: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_batch_size: 16,
+            max_wait_ns: 2e6, // 2 ms batching window
+            pus_per_layer: 1,
+        }
+    }
+}
+
+/// A group of requests admitted for one pipelined execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Admitted requests in FCFS order.
+    pub requests: Vec<InferenceRequest>,
+    /// Digital PIM cells the batch occupies in one layer tile, with every
+    /// request padded to the batch's longest sequence (the executed shape).
+    pub cells_used: usize,
+    /// Longest sequence in the batch (the execution shape).
+    pub max_seq_len: usize,
+}
+
+impl Batch {
+    /// Number of requests in the batch.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// FCFS batch former bounded by batch size and tile capacity.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    config: SchedulerConfig,
+    model: ModelConfig,
+    chip: Chip,
+    capacity_cells: usize,
+    queue: VecDeque<InferenceRequest>,
+}
+
+impl BatchScheduler {
+    /// Builds a scheduler for `model` served on `hw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a zero batch size or zero
+    /// PUs per layer, and propagates hardware-configuration errors.
+    pub fn new(hw: HyFlexPimConfig, model: ModelConfig, config: SchedulerConfig) -> Result<Self> {
+        if config.max_batch_size == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "max_batch_size must be at least 1".to_string(),
+            ));
+        }
+        if config.pus_per_layer == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "pus_per_layer must be at least 1".to_string(),
+            ));
+        }
+        if config.max_wait_ns.is_nan() || config.max_wait_ns < 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "max_wait_ns {} must be non-negative",
+                config.max_wait_ns
+            )));
+        }
+        let chip = Chip::new(hw)?;
+        let capacity_cells = config.pus_per_layer * chip.config().digital_cells_per_pu();
+        Ok(BatchScheduler {
+            config,
+            model,
+            chip,
+            capacity_cells,
+            queue: VecDeque::new(),
+        })
+    }
+
+    /// The batching policy.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Digital-cell capacity of one layer tile (the per-batch budget).
+    pub fn capacity_cells(&self) -> usize {
+        self.capacity_cells
+    }
+
+    /// Digital cells one request of length `seq_len` occupies per layer tile.
+    pub fn request_cells(&self, seq_len: usize) -> usize {
+        self.chip.digital_cells_for_layer(&self.model, seq_len)
+    }
+
+    /// Number of queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Arrival time of the oldest queued request, if any.
+    pub fn oldest_arrival_ns(&self) -> Option<f64> {
+        self.queue.front().map(|r| r.arrival_ns)
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::CapacityExceeded`] when the request alone
+    /// would not fit one layer tile, and [`RuntimeError::InvalidConfig`] for
+    /// an empty sequence. (Sequence lengths beyond the model's training MSL
+    /// are allowed: like the perf model's figure sweeps, the scheduler
+    /// treats `seq_len` as an analytic shape.)
+    pub fn submit(&mut self, request: InferenceRequest) -> Result<()> {
+        if request.seq_len == 0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "request {} has an empty sequence",
+                request.id
+            )));
+        }
+        let cells = self.request_cells(request.seq_len);
+        if cells > self.capacity_cells {
+            return Err(RuntimeError::CapacityExceeded(format!(
+                "request {} needs {cells} digital cells but the layer tile has {} \
+                 (raise pus_per_layer or shorten the sequence)",
+                request.id, self.capacity_cells
+            )));
+        }
+        self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Forms the next batch FCFS: admits queued requests while both the
+    /// batch-size cap and the tile capacity hold. Returns `None` when the
+    /// queue is empty. A returned batch always satisfies
+    /// `batch.len() <= max_batch_size` and `batch.cells_used <= capacity`.
+    ///
+    /// The batch executes padded to its longest sequence (that is the shape
+    /// the device model evaluates), so admission charges *every* request the
+    /// cells of the running maximum sequence length — a short request joining
+    /// a long batch costs the long shape.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        self.queue.front()?;
+        let mut requests: Vec<InferenceRequest> = Vec::new();
+        let mut max_seq_len = 0usize;
+        while requests.len() < self.config.max_batch_size {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            let prospective_max = max_seq_len.max(front.seq_len);
+            let prospective_cells = (requests.len() + 1) * self.request_cells(prospective_max);
+            if prospective_cells > self.capacity_cells {
+                break;
+            }
+            max_seq_len = prospective_max;
+            requests.push(self.queue.pop_front().expect("front checked above"));
+        }
+        debug_assert!(!requests.is_empty(), "submit() rejects oversized requests");
+        let cells_used = requests.len() * self.request_cells(max_seq_len);
+        Some(Batch {
+            requests,
+            cells_used,
+            max_seq_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(max_batch_size: usize, pus_per_layer: usize) -> BatchScheduler {
+        BatchScheduler::new(
+            HyFlexPimConfig::paper_default(),
+            ModelConfig::bert_large(),
+            SchedulerConfig {
+                max_batch_size,
+                max_wait_ns: 0.0,
+                pus_per_layer,
+            },
+        )
+        .unwrap()
+    }
+
+    fn request(id: u64, seq_len: usize) -> InferenceRequest {
+        InferenceRequest {
+            id,
+            arrival_ns: id as f64,
+            seq_len,
+        }
+    }
+
+    #[test]
+    fn construction_validates_policy() {
+        let hw = HyFlexPimConfig::paper_default();
+        let model = ModelConfig::bert_large();
+        for bad in [
+            SchedulerConfig {
+                max_batch_size: 0,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                pus_per_layer: 0,
+                ..SchedulerConfig::default()
+            },
+            SchedulerConfig {
+                max_wait_ns: -1.0,
+                ..SchedulerConfig::default()
+            },
+        ] {
+            assert!(BatchScheduler::new(hw, model.clone(), bad).is_err());
+        }
+        assert!(BatchScheduler::new(hw, model, SchedulerConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn batches_never_exceed_size_cap_or_tile_capacity() {
+        let mut s = scheduler(4, 1);
+        // Mixed sequence lengths, far more requests than one batch holds.
+        for id in 0..64 {
+            let seq = [64usize, 128, 384, 512][id as usize % 4];
+            s.submit(request(id, seq)).unwrap();
+        }
+        let mut drained = 0;
+        let mut last_id = None;
+        while let Some(batch) = s.next_batch() {
+            assert!(batch.len() <= 4);
+            assert!(!batch.is_empty());
+            assert!(
+                batch.cells_used <= s.capacity_cells(),
+                "batch uses {} of {} cells",
+                batch.cells_used,
+                s.capacity_cells()
+            );
+            // Capacity is charged at the padded (max-seq) execution shape.
+            let recomputed = batch.len() * s.request_cells(batch.max_seq_len);
+            assert_eq!(batch.cells_used, recomputed);
+            assert_eq!(
+                batch.max_seq_len,
+                batch.requests.iter().map(|r| r.seq_len).max().unwrap()
+            );
+            // FCFS: ids strictly increase across and within batches.
+            for r in &batch.requests {
+                assert!(last_id.is_none_or(|prev| r.id > prev));
+                last_id = Some(r.id);
+            }
+            drained += batch.len();
+        }
+        assert_eq!(drained, 64);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn capacity_binds_before_batch_size_for_long_sequences() {
+        // At N = 8192 one BERT-Large request needs multiple PUs' worth of
+        // digital cells, so a 1-PU tile rejects it outright...
+        let mut one_pu = scheduler(16, 1);
+        let err = one_pu.submit(request(0, 8192)).unwrap_err();
+        assert!(matches!(err, RuntimeError::CapacityExceeded(_)));
+        // ...while a 8-PU tile accepts it but fits fewer than max_batch_size
+        // per batch.
+        let mut wide = scheduler(16, 8);
+        for id in 0..4 {
+            wide.submit(request(id, 8192)).unwrap();
+        }
+        let batch = wide.next_batch().unwrap();
+        assert!(batch.len() < 4, "capacity should split the batch");
+        assert!(batch.cells_used <= wide.capacity_cells());
+    }
+
+    #[test]
+    fn submit_rejects_degenerate_sequences() {
+        let mut s = scheduler(4, 1);
+        assert!(s.submit(request(0, 0)).is_err());
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.next_batch().is_none());
+        assert!(s.oldest_arrival_ns().is_none());
+    }
+}

@@ -1,0 +1,35 @@
+//! # hyflex-runtime
+//!
+//! The parallel batched-inference runtime of the HyFlexPIM reproduction.
+//! Where `hyflex-pim` models one inference at a time, this crate models and
+//! drives **production-shaped** execution:
+//!
+//! * [`pool`] — [`JobPool`](pool::JobPool): a scoped `std::thread` worker
+//!   pool with a shared job queue and an order-preserving `par_map`, used by
+//!   the noise-accuracy sweeps and the figure binaries to parallelize
+//!   seed × SLC-rate × evaluation-point grids without changing results.
+//! * [`sweep`] — parallel drivers for `NoiseSimulator` and
+//!   `PerformanceModel` sweeps, bit-identical to the serial entry points in
+//!   `hyflex-pim`.
+//! * [`batch`] — [`BatchScheduler`](batch::BatchScheduler): FCFS batching of
+//!   [`InferenceRequest`](batch::InferenceRequest)s bounded by the digital
+//!   PIM tile capacity of the layer pipeline.
+//! * [`serving`] — [`ServingSim`](serving::ServingSim): a closed-loop
+//!   serving simulator with Poisson arrivals that reports throughput,
+//!   utilization, and p50/p95/p99 latency (see `examples/serving_sim.rs`
+//!   and the `fig18_batch_throughput` binary).
+
+pub mod batch;
+pub mod error;
+pub mod pool;
+pub mod serving;
+pub mod sweep;
+
+pub use batch::{Batch, BatchScheduler, InferenceRequest, SchedulerConfig};
+pub use error::RuntimeError;
+pub use pool::{JobPool, PoolScope};
+pub use serving::{LatencySummary, ServingConfig, ServingReport, ServingSim};
+pub use sweep::{par_noise_sweep, par_perf_eval};
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,374 @@
+//! Closed-loop serving simulation: Poisson arrivals → batch scheduler →
+//! batch-aware device model → latency percentiles and throughput.
+//!
+//! [`ServingSim`] drives the analytical device model
+//! (`PerformanceModel::evaluate_batched`) with a synthetic open-loop arrival
+//! process at a configurable offered QPS. Requests queue in a
+//! [`BatchScheduler`]; whenever the device is free the scheduler forms the
+//! next FCFS batch (waiting up to the batching window for a non-full batch),
+//! the batch occupies the device for its modeled makespan, and every request
+//! completes at its pipelined completion offset. The run is fully
+//! deterministic for a given seed.
+
+use crate::batch::{BatchScheduler, InferenceRequest, SchedulerConfig};
+use crate::error::RuntimeError;
+use crate::Result;
+use hyflex_pim::perf::{BatchPerfSummary, EvaluationPoint};
+use hyflex_pim::PerformanceModel;
+use hyflex_tensor::rng::Rng;
+use hyflex_transformer::ModelConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Workload and policy of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingConfig {
+    /// Offered load: mean arrival rate, requests per second.
+    pub qps: f64,
+    /// Number of requests in the run.
+    pub num_requests: usize,
+    /// Sequence length of every request.
+    pub seq_len: usize,
+    /// SLC protection rate of the deployed mapping.
+    pub slc_rank_fraction: f64,
+    /// Seed of the arrival process.
+    pub seed: u64,
+    /// Batching policy.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            qps: 1000.0,
+            num_requests: 2000,
+            seq_len: 128,
+            slc_rank_fraction: 0.1,
+            seed: 7,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Latency distribution of a run, milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50_ms: f64,
+    /// 95th-percentile latency.
+    pub p95_ms: f64,
+    /// 99th-percentile latency.
+    pub p99_ms: f64,
+    /// Mean latency.
+    pub mean_ms: f64,
+    /// Worst-case latency.
+    pub max_ms: f64,
+}
+
+/// Outcome of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests completed (always `num_requests` — the loop is closed).
+    pub completed: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Wall-clock span from first arrival to last completion, seconds.
+    pub sim_seconds: f64,
+    /// Configured offered load, requests per second.
+    pub offered_qps: f64,
+    /// Completed requests per simulated second.
+    pub achieved_qps: f64,
+    /// End-to-end request latency distribution.
+    pub latency: LatencySummary,
+    /// Mean formed batch size.
+    pub mean_batch_size: f64,
+    /// Fraction of the run the device spent executing batches.
+    pub device_utilization: f64,
+    /// Mean time a request waited before its batch launched, milliseconds.
+    pub mean_queue_ms: f64,
+}
+
+/// The closed-loop serving simulator.
+#[derive(Debug, Clone)]
+pub struct ServingSim {
+    perf: PerformanceModel,
+    model: ModelConfig,
+    config: ServingConfig,
+}
+
+impl ServingSim {
+    /// Builds a simulator serving `model` on the hardware behind `perf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for non-positive load or an
+    /// empty run, and propagates scheduler-configuration errors.
+    pub fn new(perf: PerformanceModel, model: ModelConfig, config: ServingConfig) -> Result<Self> {
+        if config.qps.is_nan() || config.qps <= 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "qps {} must be positive",
+                config.qps
+            )));
+        }
+        if config.num_requests == 0 {
+            return Err(RuntimeError::InvalidConfig(
+                "num_requests must be at least 1".to_string(),
+            ));
+        }
+        // Validate the scheduler policy and tile fit up front.
+        let mut probe = BatchScheduler::new(*perf.hw(), model.clone(), config.scheduler)?;
+        probe.submit(InferenceRequest {
+            id: 0,
+            arrival_ns: 0.0,
+            seq_len: config.seq_len,
+        })?;
+        Ok(ServingSim {
+            perf,
+            model,
+            config,
+        })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and performance-model errors.
+    pub fn run(&self) -> Result<ServingReport> {
+        let cfg = &self.config;
+        let mut rng = Rng::seed_from(cfg.seed);
+        let mut arrivals = Vec::with_capacity(cfg.num_requests);
+        let mut t = 0.0f64;
+        for id in 0..cfg.num_requests as u64 {
+            // Poisson process: exponential inter-arrival times at rate qps.
+            t += -(1.0 - rng.uniform()).ln() / cfg.qps * 1e9;
+            arrivals.push(InferenceRequest {
+                id,
+                arrival_ns: t,
+                seq_len: cfg.seq_len,
+            });
+        }
+
+        let mut scheduler =
+            BatchScheduler::new(*self.perf.hw(), self.model.clone(), cfg.scheduler)?;
+        // Every request in a run shares one sequence length, so the largest
+        // batch the tile can actually execute is known up front; the batching
+        // window must not wait for arrivals that could never join the batch.
+        let capacity_batch =
+            (scheduler.capacity_cells() / scheduler.request_cells(cfg.seq_len)).max(1);
+        let fill_target = cfg.scheduler.max_batch_size.min(capacity_batch);
+        let max_wait = cfg.scheduler.max_wait_ns;
+
+        // Batches repeat shapes heavily; memoize the analytical evaluation.
+        let mut shape_cache: HashMap<(usize, usize), BatchPerfSummary> = HashMap::new();
+
+        let mut next = 0usize; // index of the next not-yet-submitted arrival
+        let mut device_free = 0.0f64;
+        let mut busy_ns = 0.0f64;
+        let mut last_completion = 0.0f64;
+        let mut latencies_ns: Vec<f64> = Vec::with_capacity(cfg.num_requests);
+        let mut queue_ns_sum = 0.0f64;
+        let mut batches = 0usize;
+
+        while next < arrivals.len() || scheduler.queue_len() > 0 {
+            if scheduler.queue_len() == 0 {
+                scheduler.submit(arrivals[next].clone())?;
+                next += 1;
+            }
+            let first_arrival = scheduler
+                .oldest_arrival_ns()
+                .expect("queue is non-empty here");
+            let ready = device_free.max(first_arrival);
+            // Everything that has already arrived joins the queue.
+            while next < arrivals.len() && arrivals[next].arrival_ns <= ready {
+                scheduler.submit(arrivals[next].clone())?;
+                next += 1;
+            }
+            // Batching window: a non-full batch waits up to max_wait for
+            // later arrivals, launching early the moment it fills.
+            let mut launch = ready;
+            if scheduler.queue_len() < fill_target && max_wait > 0.0 && next < arrivals.len() {
+                let deadline = ready + max_wait;
+                while next < arrivals.len()
+                    && scheduler.queue_len() < fill_target
+                    && arrivals[next].arrival_ns <= deadline
+                {
+                    launch = launch.max(arrivals[next].arrival_ns);
+                    scheduler.submit(arrivals[next].clone())?;
+                    next += 1;
+                }
+                if scheduler.queue_len() < fill_target && next < arrivals.len() {
+                    // The window expired before the batch filled.
+                    launch = deadline;
+                }
+            }
+
+            let batch = scheduler.next_batch().expect("queue is non-empty here");
+            let key = (batch.max_seq_len, batch.len());
+            let summary = match shape_cache.entry(key) {
+                Entry::Occupied(entry) => entry.into_mut(),
+                Entry::Vacant(entry) => {
+                    let point = EvaluationPoint {
+                        model: self.model.clone(),
+                        seq_len: batch.max_seq_len,
+                        slc_rank_fraction: cfg.slc_rank_fraction,
+                    };
+                    entry.insert(self.perf.evaluate_batched(&point, batch.len())?)
+                }
+            };
+            let start = launch.max(device_free);
+            for (k, request) in batch.requests.iter().enumerate() {
+                let completion = start + summary.completion_ns(k);
+                latencies_ns.push(completion - request.arrival_ns);
+                queue_ns_sum += start - request.arrival_ns;
+                last_completion = last_completion.max(completion);
+            }
+            device_free = start + summary.makespan_ns;
+            busy_ns += summary.makespan_ns;
+            batches += 1;
+        }
+
+        let completed = latencies_ns.len();
+        // Span from the first arrival to the last completion, matching the
+        // documented definition (the clock itself starts at t = 0, before
+        // the first exponential inter-arrival sample).
+        let span_start = arrivals.first().map_or(0.0, |a| a.arrival_ns);
+        let sim_seconds = (last_completion - span_start).max(0.0) * 1e-9;
+        let mut sorted = latencies_ns;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let latency = LatencySummary {
+            p50_ms: percentile_ns(&sorted, 0.50) / 1e6,
+            p95_ms: percentile_ns(&sorted, 0.95) / 1e6,
+            p99_ms: percentile_ns(&sorted, 0.99) / 1e6,
+            mean_ms: sorted.iter().sum::<f64>() / completed as f64 / 1e6,
+            max_ms: sorted.last().copied().unwrap_or(0.0) / 1e6,
+        };
+        Ok(ServingReport {
+            completed,
+            batches,
+            sim_seconds,
+            offered_qps: cfg.qps,
+            achieved_qps: if sim_seconds > 0.0 {
+                completed as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            latency,
+            mean_batch_size: completed as f64 / batches.max(1) as f64,
+            device_utilization: if device_free > span_start {
+                busy_ns / (device_free - span_start)
+            } else {
+                0.0
+            },
+            mean_queue_ms: queue_ns_sum / completed as f64 / 1e6,
+        })
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice, ns.
+fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(qps: f64, max_batch_size: usize, num_requests: usize) -> ServingSim {
+        ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            ServingConfig {
+                qps,
+                num_requests,
+                scheduler: SchedulerConfig {
+                    max_batch_size,
+                    ..SchedulerConfig::default()
+                },
+                ..ServingConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_loads() {
+        let perf = PerformanceModel::paper_default();
+        let model = ModelConfig::bert_base();
+        let bad_qps = ServingConfig {
+            qps: 0.0,
+            ..ServingConfig::default()
+        };
+        assert!(ServingSim::new(perf.clone(), model.clone(), bad_qps).is_err());
+        let empty = ServingConfig {
+            num_requests: 0,
+            ..ServingConfig::default()
+        };
+        assert!(ServingSim::new(perf, model, empty).is_err());
+    }
+
+    #[test]
+    fn run_completes_every_request_with_ordered_percentiles() {
+        let report = sim(500.0, 8, 400).run().unwrap();
+        assert_eq!(report.completed, 400);
+        assert!(report.batches >= 400 / 8);
+        assert!(report.sim_seconds > 0.0);
+        assert!(report.latency.p50_ms > 0.0);
+        assert!(report.latency.p50_ms <= report.latency.p95_ms);
+        assert!(report.latency.p95_ms <= report.latency.p99_ms);
+        assert!(report.latency.p99_ms <= report.latency.max_ms);
+        assert!(report.latency.mean_ms <= report.latency.max_ms);
+        assert!(report.mean_batch_size >= 1.0);
+        assert!(report.mean_batch_size <= 8.0);
+        assert!(report.device_utilization > 0.0 && report.device_utilization <= 1.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let a = sim(800.0, 8, 300).run().unwrap();
+        let b = sim(800.0, 8, 300).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batching_raises_throughput_under_overload() {
+        // Offer far more load than the single-request service rate; the
+        // larger batch cap must complete the run sooner.
+        let single = sim(20_000.0, 1, 300).run().unwrap();
+        let batched = sim(20_000.0, 16, 300).run().unwrap();
+        assert!(
+            batched.achieved_qps > single.achieved_qps,
+            "batched {} <= single {}",
+            batched.achieved_qps,
+            single.achieved_qps
+        );
+        assert!(batched.mean_batch_size > 2.0);
+        assert!(batched.latency.p99_ms < single.latency.p99_ms);
+    }
+
+    #[test]
+    fn light_load_keeps_batches_small_and_queues_short() {
+        let report = sim(50.0, 16, 200).run().unwrap();
+        assert!(report.mean_batch_size < 4.0);
+        assert!(report.device_utilization < 0.9);
+        assert!(report.mean_queue_ms <= report.latency.mean_ms);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_ns(&sorted, 0.50), 2.0);
+        assert_eq!(percentile_ns(&sorted, 0.99), 4.0);
+        assert_eq!(percentile_ns(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Parallel drivers for the embarrassingly parallel evaluation surfaces:
+//! noise-accuracy sweeps (`NoiseSimulator`) and analytical performance
+//! sweeps (`PerformanceModel`).
+//!
+//! Both drivers fan the per-point entry points of `hyflex-pim` out over a
+//! [`JobPool`] and return results **in input order**. Because every sweep
+//! point seeds its own RNG from the point itself, the parallel result is
+//! bit-identical to the serial reference (`NoiseSimulator::evaluate_sweep`,
+//! `PerformanceModel::evaluate_many`) — a property the determinism tests in
+//! this crate and CI (with `RUST_TEST_THREADS` 1 and default) enforce.
+
+use crate::pool::JobPool;
+use hyflex_pim::gradient_redistribution::LayerGradientProfile;
+use hyflex_pim::noise_sim::{HybridMappingSpec, SweepOutcome, SweepPoint};
+use hyflex_pim::perf::{EvaluationPoint, PerfSummary};
+use hyflex_pim::{NoiseSimulator, PerformanceModel};
+use hyflex_transformer::trainer::Sample;
+use hyflex_transformer::TransformerModel;
+
+/// Evaluates a noise sweep in parallel over `pool`.
+///
+/// Results are returned in `points` order and are bit-identical to
+/// [`NoiseSimulator::evaluate_sweep`] on the same inputs.
+///
+/// # Errors
+///
+/// Propagates the first failing point's error (points are still all
+/// evaluated; failure of one point does not depend on scheduling).
+pub fn par_noise_sweep(
+    pool: &JobPool,
+    simulator: &NoiseSimulator,
+    model: &TransformerModel,
+    profiles: &[LayerGradientProfile],
+    base: &HybridMappingSpec,
+    eval: &[Sample],
+    points: &[SweepPoint],
+) -> hyflex_pim::Result<Vec<SweepOutcome>> {
+    pool.par_map(points, |&point| {
+        simulator.evaluate_point(model, profiles, base, eval, point)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Evaluates performance-model points in parallel over `pool`.
+///
+/// Results are returned in `points` order and are bit-identical to
+/// [`PerformanceModel::evaluate_many`].
+///
+/// # Errors
+///
+/// Propagates the first failing point's error.
+pub fn par_perf_eval(
+    pool: &JobPool,
+    model: &PerformanceModel,
+    points: &[EvaluationPoint],
+) -> hyflex_pim::Result<Vec<PerfSummary>> {
+    pool.par_map(points, |point| model.evaluate(point))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyflex_transformer::ModelConfig;
+
+    #[test]
+    fn parallel_perf_eval_is_bit_identical_to_serial() {
+        let model = PerformanceModel::paper_default();
+        let points: Vec<EvaluationPoint> = [128usize, 512, 1024]
+            .iter()
+            .flat_map(|&seq_len| {
+                [0.05, 0.3, 1.0].iter().map(move |&slc| EvaluationPoint {
+                    model: ModelConfig::bert_large(),
+                    seq_len,
+                    slc_rank_fraction: slc,
+                })
+            })
+            .collect();
+        let serial = model.evaluate_many(&points).unwrap();
+        for workers in [1, 2, 8] {
+            let pool = JobPool::new(workers);
+            let parallel = par_perf_eval(&pool, &model, &points).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+    }
+}

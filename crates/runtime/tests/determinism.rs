@@ -1,0 +1,84 @@
+//! Determinism contract of the parallel runtime: the worker pool must
+//! produce bit-identical results to the serial reference regardless of
+//! worker count or OS scheduling. CI runs this suite with
+//! `RUST_TEST_THREADS` at both 1 and the default so scheduling races have
+//! two distinct chances to surface.
+
+use hyflex_pim::gradient_redistribution::{GradientRedistribution, LayerGradientProfile};
+use hyflex_pim::noise_sim::SweepPoint;
+use hyflex_pim::{HybridMappingSpec, NoiseSimulator};
+use hyflex_runtime::{par_noise_sweep, JobPool};
+use hyflex_tensor::rng::Rng;
+use hyflex_transformer::trainer::Sample;
+use hyflex_transformer::{AdamWConfig, ModelConfig, Trainer, TransformerModel};
+use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
+use proptest::prelude::*;
+
+fn trained_fixture() -> (TransformerModel, Vec<LayerGradientProfile>, Vec<Sample>) {
+    let mut rng = Rng::seed_from(1234);
+    let mut model = TransformerModel::new(ModelConfig::tiny_encoder(2), &mut rng).unwrap();
+    let dataset = glue::generate(GlueTask::Sst2, &GlueConfig::default(), 60);
+    let trainer = Trainer::new(
+        AdamWConfig {
+            learning_rate: 3e-3,
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        },
+        16,
+    );
+    trainer.train(&mut model, &dataset.train, 2).unwrap();
+    let pipeline = GradientRedistribution {
+        finetune_epochs: 1,
+        ..GradientRedistribution::new(trainer)
+    };
+    let report = pipeline
+        .apply(&mut model, &dataset.train, &dataset.eval)
+        .unwrap();
+    (model, report.layer_profiles, dataset.eval)
+}
+
+#[test]
+fn determinism_parallel_noise_sweep_is_bit_identical_to_serial() {
+    let (model, profiles, eval) = trained_fixture();
+    let simulator = NoiseSimulator::paper_default();
+    let base = HybridMappingSpec::gradient_based(0.0);
+    let points = SweepPoint::grid(&[0.0, 0.1, 0.5, 1.0], 3, 900);
+    let serial = simulator
+        .evaluate_sweep(&model, &profiles, &base, &eval, &points)
+        .unwrap();
+    for workers in [1, 2, 4, 7] {
+        let pool = JobPool::new(workers);
+        let parallel =
+            par_noise_sweep(&pool, &simulator, &model, &profiles, &base, &eval, &points).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "parallel sweep with {workers} workers diverged from serial"
+        );
+    }
+    // The machine-sized default pool must agree too.
+    let parallel = par_noise_sweep(
+        &JobPool::default(),
+        &simulator,
+        &model,
+        &profiles,
+        &base,
+        &eval,
+        &points,
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+proptest! {
+    #[test]
+    fn determinism_par_map_equals_serial_map(
+        values in proptest::collection::vec(any::<u64>(), 1..200usize),
+        workers in 1usize..9,
+    ) {
+        let pool = JobPool::new(workers);
+        let f = |x: &u64| x.rotate_left(7) ^ 0x9e37_79b9_7f4a_7c15;
+        let serial: Vec<u64> = values.iter().map(f).collect();
+        let parallel = pool.par_map(&values, f);
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -175,6 +175,28 @@ impl TransformerModel {
         }
     }
 
+    /// Runs the model over a group of requests (a serving batch) and returns
+    /// one logits matrix per request, in request order.
+    ///
+    /// Weights are static in the PIM arrays, so a batch shares one weight
+    /// read-out schedule; functionally the requests are independent, and the
+    /// results are identical to calling [`TransformerModel::forward`] per
+    /// request. The runtime crate's batch scheduler uses this to execute the
+    /// request groups it forms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for an empty group and propagates
+    /// per-request forward errors.
+    pub fn forward_batch(&self, inputs: &[ModelInput]) -> Result<Vec<Matrix>> {
+        if inputs.is_empty() {
+            return Err(ModelError::InvalidInput(
+                "batched forward needs at least one request".to_string(),
+            ));
+        }
+        inputs.iter().map(|input| self.forward(input)).collect()
+    }
+
     /// Runs the model, then back-propagates `d_logits`, accumulating
     /// gradients in every layer. Returns the forward logits so callers can
     /// compute the loss once.
@@ -303,6 +325,22 @@ mod tests {
             .forward(&ModelInput::Tokens(vec![1, 5, 9, 2]))
             .unwrap();
         assert_eq!(logits.shape(), (1, 3));
+    }
+
+    #[test]
+    fn batched_forward_matches_per_request_forward() {
+        let model = tiny_model(7);
+        let inputs = vec![
+            ModelInput::Tokens(vec![1, 5, 9, 2]),
+            ModelInput::Tokens(vec![4, 4]),
+            ModelInput::Tokens(vec![7, 0, 3, 3, 3, 1]),
+        ];
+        let batched = model.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (input, logits) in inputs.iter().zip(&batched) {
+            assert_eq!(logits, &model.forward(input).unwrap());
+        }
+        assert!(model.forward_batch(&[]).is_err());
     }
 
     #[test]

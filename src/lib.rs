@@ -21,6 +21,7 @@ pub use hyflex_baselines as baselines;
 pub use hyflex_circuits as circuits;
 pub use hyflex_pim as pim;
 pub use hyflex_rram as rram;
+pub use hyflex_runtime as runtime;
 pub use hyflex_tensor as tensor;
 pub use hyflex_transformer as transformer;
 pub use hyflex_workloads as workloads;

@@ -1,0 +1,94 @@
+//! Cross-crate integration of the batched-inference runtime: the facade
+//! re-export, the batch-aware performance model, the scheduler's capacity
+//! contract, and a full closed-loop serving run, exercised together the way
+//! `examples/serving_sim.rs` uses them.
+
+use hyflex::pim::perf::EvaluationPoint;
+use hyflex::pim::PerformanceModel;
+use hyflex::runtime::{
+    par_perf_eval, InferenceRequest, JobPool, SchedulerConfig, ServingConfig, ServingSim,
+};
+use hyflex::transformer::ModelConfig;
+use hyflex_runtime::BatchScheduler;
+
+fn serving_config(max_batch_size: usize) -> ServingConfig {
+    ServingConfig {
+        qps: 5000.0,
+        num_requests: 600,
+        seq_len: 128,
+        slc_rank_fraction: 0.05,
+        seed: 18,
+        scheduler: SchedulerConfig {
+            max_batch_size,
+            ..SchedulerConfig::default()
+        },
+    }
+}
+
+#[test]
+fn serving_reports_throughput_and_tail_latency_for_required_batch_sizes() {
+    let perf = PerformanceModel::paper_default();
+    let model = ModelConfig::bert_large();
+    let mut achieved = Vec::new();
+    for batch in [1usize, 4, 16] {
+        let report = ServingSim::new(perf.clone(), model.clone(), serving_config(batch))
+            .expect("serving sim builds")
+            .run()
+            .expect("serving run completes");
+        assert_eq!(report.completed, 600);
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.latency.p50_ms > 0.0);
+        assert!(report.latency.p50_ms <= report.latency.p95_ms);
+        assert!(report.latency.p95_ms <= report.latency.p99_ms);
+        achieved.push(report.achieved_qps);
+    }
+    // 5000 QPS exceeds the ~3.7k single-request service rate: only the
+    // batched configurations can keep up with the offered load.
+    assert!(
+        achieved[1] > achieved[0] && achieved[2] > achieved[0],
+        "batching must raise sustained throughput under overload: {achieved:?}"
+    );
+}
+
+#[test]
+fn scheduler_capacity_contract_holds_through_the_facade() {
+    let mut scheduler = BatchScheduler::new(
+        hyflex::pim::HyFlexPimConfig::paper_default(),
+        ModelConfig::bert_large(),
+        SchedulerConfig {
+            max_batch_size: 8,
+            max_wait_ns: 0.0,
+            pus_per_layer: 1,
+        },
+    )
+    .unwrap();
+    for id in 0..40 {
+        scheduler
+            .submit(InferenceRequest {
+                id,
+                arrival_ns: id as f64,
+                seq_len: 512,
+            })
+            .unwrap();
+    }
+    while let Some(batch) = scheduler.next_batch() {
+        assert!(batch.len() <= 8);
+        assert!(batch.cells_used <= scheduler.capacity_cells());
+    }
+}
+
+#[test]
+fn parallel_perf_sweep_through_the_facade_matches_serial() {
+    let perf = PerformanceModel::paper_default();
+    let points: Vec<EvaluationPoint> = [0.05, 0.5, 1.0]
+        .iter()
+        .map(|&slc| EvaluationPoint {
+            model: ModelConfig::bert_base(),
+            seq_len: 256,
+            slc_rank_fraction: slc,
+        })
+        .collect();
+    let serial = perf.evaluate_many(&points).unwrap();
+    let parallel = par_perf_eval(&JobPool::new(3), &perf, &points).unwrap();
+    assert_eq!(serial, parallel);
+}

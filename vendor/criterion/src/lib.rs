@@ -133,7 +133,14 @@ where
         .get(bencher.samples.len() / 2)
         .copied()
         .unwrap_or_default();
-    println!("bench {id:<48} median {}", format_duration(median));
+    let min = bencher.samples.first().copied().unwrap_or_default();
+    let max = bencher.samples.last().copied().unwrap_or_default();
+    println!(
+        "bench {id:<48} median {:>10}   min {:>10}   max {:>10}",
+        format_duration(median),
+        format_duration(min),
+        format_duration(max)
+    );
 }
 
 fn format_duration(d: Duration) -> String {
