@@ -10,7 +10,7 @@
 
 use crate::Accelerator;
 use hyflex_pim::energy_breakdown::EnergyBreakdown;
-use hyflex_pim::perf::{EvaluationPoint, PerformanceModel};
+use hyflex_pim::perf::{EvaluationPoint, PerfSummary, PerformanceModel};
 use hyflex_pim::Result;
 use hyflex_transformer::config::ModelConfig;
 use serde::{Deserialize, Serialize};
@@ -73,7 +73,10 @@ impl Asadi {
 
     fn breakdown(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
         let summary = self.perf.evaluate(&self.point(model, seq_len))?;
-        let mut energy = summary.energy;
+        Ok(self.scaled_energy(summary.energy))
+    }
+
+    fn scaled_energy(&self, mut energy: EnergyBreakdown) -> EnergyBreakdown {
         let linear_factor = self.linear_precision_factor();
         energy.linear_adc_pj *= linear_factor;
         energy.analog_rram_read_pj *= linear_factor;
@@ -84,13 +87,37 @@ impl Asadi {
         energy.attention_dot_product_pj *= attention_factor;
         energy.digital_wldrv_pj *= attention_factor;
         energy.digital_rram_write_pj *= self.attention_precision_factor();
-        Ok(energy)
+        energy
     }
 }
 
 impl Accelerator for Asadi {
     fn name(&self) -> &str {
         self.name
+    }
+
+    /// ASADI through the all-SLC mapping: the same layer-pipeline latency
+    /// model as HyFlexPIM evaluated at a 100 % SLC rate (twice the occupied
+    /// arrays per layer ⇒ more serialized passes), with every stage
+    /// stretched by the bit-serial operand width (4× for the FP32 variant —
+    /// analog reads, digital products, SFU, and activation movement all
+    /// scale with the operand bits).
+    fn perf_summary(&self, model: &ModelConfig, seq_len: usize) -> Result<PerfSummary> {
+        let base = self.perf.evaluate(&self.point(model, seq_len))?;
+        let energy = self.scaled_energy(base.energy);
+        let stretch = self.linear_precision_factor();
+        let mut latency = base.latency;
+        latency.analog_ns *= stretch;
+        latency.digital_ns *= stretch;
+        latency.sfu_ns *= stretch;
+        latency.interconnect_ns *= stretch;
+        Ok(PerfSummary::from_parts(
+            energy,
+            latency,
+            base.total_ops,
+            base.area_mm2,
+            base.chips,
+        ))
     }
 
     fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
@@ -101,12 +128,21 @@ impl Accelerator for Asadi {
         self.breakdown(model, seq_len)
     }
 
-    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        let summary = self.perf.evaluate(&self.point(model, seq_len))?;
-        // The all-SLC mapping already halves throughput relative to the MLC
-        // mapping (twice the arrays per layer => twice the passes); on top of
-        // that the wider linear operands stretch the bit-serial read time.
-        Ok(summary.tops_per_mm2 / self.linear_precision_factor())
+    /// ASADI's tile budget mirrors HyFlexPIM's digital-PIM capacity (same
+    /// class of hybrid design).
+    fn tile_cells(&self) -> usize {
+        self.perf.hw().digital_cells_per_pu()
+    }
+
+    /// Per-layer dynamic state like the common model, but ASADI's FP32
+    /// attention state is 4× wider (and in the FP32 variant so is the rest).
+    fn request_cells(&self, model: &ModelConfig, seq_len: usize) -> usize {
+        let n = seq_len;
+        let attention_state = model.num_heads * n * n;
+        let linear_state = 3 * n * model.hidden_dim + n * model.hidden_dim + n * model.ffn_dim;
+        (linear_state * self.linear_precision_factor() as usize
+            + attention_state * self.attention_precision_factor() as usize)
+            * 8
     }
 }
 
@@ -152,6 +188,6 @@ mod tests {
         let hyflex = crate::HyFlexPimAccelerator::new(0.1);
         let speedup =
             hyflex.tops_per_mm2(&model, 1024).unwrap() / asadi.tops_per_mm2(&model, 1024).unwrap();
-        assert!(speedup >= 1.0 && speedup < 3.0, "speedup {speedup:.2}");
+        assert!((1.0..3.0).contains(&speedup), "speedup {speedup:.2}");
     }
 }

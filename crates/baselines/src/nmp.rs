@@ -9,6 +9,7 @@
 use crate::Accelerator;
 use hyflex_circuits::EnergyModel;
 use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::perf::{self, BatchPerfSummary, LatencyBreakdown, PerfSummary};
 use hyflex_pim::Result;
 use hyflex_transformer::config::ModelConfig;
 use hyflex_transformer::ops_count::{self, Stage};
@@ -23,6 +24,11 @@ pub const NMP_PEAK_OPS_PER_S: f64 = 1.2e12;
 
 /// Area of the logic-die portion attributable to the accelerator, mm².
 pub const NMP_AREA_MM2: f64 = 60.0;
+
+/// Aggregate bank-interface bandwidth available to the near-bank compute,
+/// bytes per second. Higher than any off-chip interface (the point of NMP)
+/// but finite: every operand still crosses it.
+pub const NMP_HBM_BYTES_PER_S: f64 = 512.0e9;
 
 /// The TransPIM-style near-memory-processing baseline.
 #[derive(Debug, Clone)]
@@ -41,6 +47,18 @@ impl NearMemoryProcessing {
     fn mac_pj(&self) -> f64 {
         self.energy.int8_mac_pj * NEAR_BANK_MAC_OVERHEAD
     }
+
+    /// Per-inference weight traffic across the bank interface, bytes.
+    fn weight_bytes(model: &ModelConfig) -> f64 {
+        model.static_params_total() as f64
+    }
+
+    /// Per-inference activation/intermediate traffic across the bank
+    /// interface, bytes (same accounting as the energy model).
+    fn activation_bytes(model: &ModelConfig, seq_len: usize) -> f64 {
+        (seq_len * (model.hidden_dim + model.ffn_dim) * model.num_layers) as f64
+            + (model.num_heads * seq_len * seq_len * model.num_layers) as f64
+    }
 }
 
 impl Default for NearMemoryProcessing {
@@ -52,6 +70,59 @@ impl Default for NearMemoryProcessing {
 impl Accelerator for NearMemoryProcessing {
     fn name(&self) -> &str {
         "NMP (TransPIM)"
+    }
+
+    /// DRAM-bounded timing: the near-bank ALUs run at their compute peak,
+    /// but weights and activations all cross the bank interface; whichever
+    /// is slower bounds the inference, and the excess of the memory time
+    /// over the compute time is exposed as interconnect stall.
+    fn perf_summary(&self, model: &ModelConfig, seq_len: usize) -> Result<PerfSummary> {
+        let total_ops = ops_count::total_ops(model, seq_len) * 2;
+        let compute_s = total_ops as f64 / NMP_PEAK_OPS_PER_S;
+        let bytes = Self::weight_bytes(model) + Self::activation_bytes(model, seq_len);
+        let mem_s = bytes / NMP_HBM_BYTES_PER_S;
+        let latency = LatencyBreakdown {
+            analog_ns: 0.0,
+            digital_ns: compute_s * 1e9,
+            sfu_ns: 0.0,
+            interconnect_ns: (mem_s - compute_s).max(0.0) * 1e9,
+            queueing_ns: 0.0,
+        };
+        Ok(PerfSummary::from_parts(
+            self.end_to_end_energy(model, seq_len)?,
+            latency,
+            total_ops,
+            NMP_AREA_MM2,
+            1,
+        ))
+    }
+
+    /// Batching amortizes the dominant weight traffic: a streamed weight
+    /// tile is applied to every request of the batch before eviction, so at
+    /// steady state only the per-request activation traffic and the compute
+    /// time bound the initiation interval. The first request still pays the
+    /// full weight-streaming latency, and the per-request energy amortizes
+    /// the weight-traffic crossing the same way the interval does.
+    fn batch_summary(
+        &self,
+        model: &ModelConfig,
+        seq_len: usize,
+        batch_size: usize,
+    ) -> Result<BatchPerfSummary> {
+        let single = self.perf_summary(model, seq_len)?;
+        // The compute time is exactly the digital latency component of the
+        // single-request evaluation; only the weight-streaming share of the
+        // memory time is amortized away.
+        let compute_s = single.latency.digital_ns * 1e-9;
+        let act_s = Self::activation_bytes(model, seq_len) / NMP_HBM_BYTES_PER_S;
+        let interval_ns = compute_s.max(act_s) * 1e9;
+        let mut batch = perf::batch_summary_from_interval(single, interval_ns, batch_size)?;
+        // Weight bytes cross the bank interface once per batch, not once per
+        // request: keep the energy model consistent with the latency model.
+        let weight_pj = Self::weight_bytes(model) * self.energy.hbm_access_byte_pj;
+        let b = batch_size as f64;
+        batch.energy_per_request_pj -= weight_pj * (b - 1.0) / b;
+        Ok(batch)
     }
 
     fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
@@ -82,19 +153,10 @@ impl Accelerator for NearMemoryProcessing {
         energy.digital_mac_pj = total_macs * self.mac_pj();
         energy.sfu_pj = softmax_elems * self.energy.sfu_element_pj * NEAR_BANK_MAC_OVERHEAD;
         // Weights plus activations and attention intermediates cross the bank
-        // interface.
-        let weight_bytes = model.static_params_total() as f64;
-        let activation_bytes = (seq_len * (model.hidden_dim + model.ffn_dim) * model.num_layers)
-            as f64
-            + (model.num_heads * seq_len * seq_len * model.num_layers) as f64;
-        energy.dram_access_pj = (weight_bytes + activation_bytes) * self.energy.hbm_access_byte_pj;
+        // interface (same traffic accounting as the latency model).
+        let bytes = Self::weight_bytes(model) + Self::activation_bytes(model, seq_len);
+        energy.dram_access_pj = bytes * self.energy.hbm_access_byte_pj;
         Ok(energy)
-    }
-
-    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        let total: f64 = ops_count::total_ops(model, seq_len) as f64 * 2.0;
-        let latency_s = total / NMP_PEAK_OPS_PER_S;
-        Ok(total / latency_s / 1e12 / NMP_AREA_MM2)
     }
 }
 
@@ -124,5 +186,26 @@ mod tests {
         let weight_bytes = model.static_params_total() as f64;
         assert!(at_n1 > weight_bytes * EnergyModel::default().hbm_access_byte_pj);
         assert!(nmp.tops_per_mm2(&model, 128).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_weight_streaming_in_energy_and_latency_alike() {
+        let model = ModelConfig::bert_base();
+        let nmp = NearMemoryProcessing::new();
+        let b1 = nmp.batch_summary(&model, 128, 1).unwrap();
+        let b8 = nmp.batch_summary(&model, 128, 8).unwrap();
+        // A batch of one amortizes nothing.
+        assert_eq!(b1.energy_per_request_pj, b1.single.energy.total_pj());
+        assert_eq!(b1.makespan_ns, b1.single.latency.total_ns());
+        // Larger batches stream the weight set once per batch: both the
+        // per-request energy and the initiation interval drop below the
+        // single-request figures, and energy stays above the no-weight floor.
+        assert!(b8.energy_per_request_pj < b1.energy_per_request_pj);
+        let weight_pj =
+            model.static_params_total() as f64 * EnergyModel::default().hbm_access_byte_pj;
+        assert!(b8.energy_per_request_pj > b1.energy_per_request_pj - weight_pj);
+        assert!(b8.initiation_interval_ns <= b8.first_request_ns);
+        // Compute-bound at this shape: batching can only help, never hurt.
+        assert!(b8.requests_per_s >= b1.requests_per_s);
     }
 }

@@ -8,12 +8,16 @@
 use crate::Accelerator;
 use hyflex_circuits::EnergyModel;
 use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::perf::{self, BatchPerfSummary, LatencyBreakdown, PerfSummary};
 use hyflex_pim::Result;
 use hyflex_transformer::config::ModelConfig;
 use hyflex_transformer::ops_count::{self, Stage};
 
 /// Peak throughput of the digital datapath (operations per second).
 pub const NON_PIM_PEAK_OPS_PER_S: f64 = 2.0e12;
+
+/// Off-chip DRAM interface bandwidth, bytes per second (128 GB/s class).
+pub const NON_PIM_DRAM_BYTES_PER_S: f64 = 128.0e9;
 
 /// Accelerator die area, mm² (65 nm).
 pub const NON_PIM_AREA_MM2: f64 = 40.0;
@@ -48,6 +52,47 @@ impl Default for NonPim {
 impl Accelerator for NonPim {
     fn name(&self) -> &str {
         "Non-PIM"
+    }
+
+    /// DRAM-bounded timing: effective latency is the slower of the compute
+    /// peak and the rate at which the 128 GB/s DRAM interface can deliver
+    /// the weight set — re-streamed [`WEIGHT_REFETCH_FACTOR`] times per
+    /// inference, the same traffic the energy model charges; the memory
+    /// excess over the compute time is exposed as interconnect stall.
+    fn perf_summary(&self, model: &ModelConfig, seq_len: usize) -> Result<PerfSummary> {
+        let total_ops = ops_count::total_ops(model, seq_len) * 2;
+        let compute_s = total_ops as f64 / NON_PIM_PEAK_OPS_PER_S;
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_REFETCH_FACTOR;
+        let mem_s = weight_bytes / NON_PIM_DRAM_BYTES_PER_S;
+        let latency = LatencyBreakdown {
+            analog_ns: 0.0,
+            digital_ns: compute_s * 1e9,
+            sfu_ns: 0.0,
+            interconnect_ns: (mem_s - compute_s).max(0.0) * 1e9,
+            queueing_ns: 0.0,
+        };
+        Ok(PerfSummary::from_parts(
+            self.end_to_end_energy(model, seq_len)?,
+            latency,
+            total_ops,
+            NON_PIM_AREA_MM2,
+            1,
+        ))
+    }
+
+    /// The on-chip cache cannot hold the weight set, so every request
+    /// re-streams it (the [`WEIGHT_REFETCH_FACTOR`] energy penalty): batching
+    /// amortizes nothing and the initiation interval equals the full request
+    /// latency.
+    fn batch_summary(
+        &self,
+        model: &ModelConfig,
+        seq_len: usize,
+        batch_size: usize,
+    ) -> Result<BatchPerfSummary> {
+        let single = self.perf_summary(model, seq_len)?;
+        let interval_ns = single.latency.total_ns();
+        perf::batch_summary_from_interval(single, interval_ns, batch_size)
     }
 
     fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
@@ -88,18 +133,6 @@ impl Accelerator for NonPim {
         energy.sram_access_pj =
             (weight_bytes + 4.0 * activation_bytes) * self.energy.sram_cache_byte_pj;
         Ok(energy)
-    }
-
-    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        // Memory-bound: the DRAM interface (128 GB/s class) limits how fast
-        // weights arrive, so effective throughput is the lower of the compute
-        // peak and the bandwidth-implied rate.
-        let total_ops = ops_count::total_ops(model, seq_len) as f64 * 2.0;
-        let weight_bytes = model.static_params_total() as f64;
-        let compute_s = total_ops / NON_PIM_PEAK_OPS_PER_S;
-        let memory_s = weight_bytes / 128.0e9;
-        let latency_s = compute_s.max(memory_s);
-        Ok(total_ops / latency_s / 1e12 / NON_PIM_AREA_MM2)
     }
 }
 

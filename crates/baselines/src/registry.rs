@@ -1,0 +1,292 @@
+//! Name → constructor table for every comparison backend.
+//!
+//! The registry is the single place that knows the full roster of modeled
+//! accelerators. Consumers address backends by name (`--backend asadi-int8`
+//! on the figure binaries, [`crate::SystemBuilder::backend`]) and get back a
+//! boxed `hyflex_pim::Backend` bound to the requested deployment, or —
+//! for the energy/area comparison figures — a boxed [`Accelerator`].
+
+use crate::{
+    Accelerator, AcceleratorBackend, Asadi, AsadiPrecision, HyFlexPimAccelerator,
+    NearMemoryProcessing, NonPim, Sprint,
+};
+use hyflex_pim::backend::{Backend, HyFlexPim};
+use hyflex_pim::perf::PerformanceModel;
+use hyflex_pim::{HyFlexPimConfig, PimError, Result};
+use hyflex_rram::cell::CellMode;
+use hyflex_transformer::config::ModelConfig;
+
+/// Deployment parameters a backend is bound to at construction.
+#[derive(Debug, Clone)]
+pub struct BackendParams {
+    /// The transformer architecture served.
+    pub model: ModelConfig,
+    /// SLC protection rate of the HyFlexPIM mapping (ignored by baselines,
+    /// which have no hybrid mapping to protect).
+    pub slc_rank_fraction: f64,
+    /// MLC cell mode of the HyFlexPIM mapping (ignored by baselines).
+    pub mlc_mode: CellMode,
+}
+
+impl BackendParams {
+    /// The paper's deployment: 2-bit MLC, 5 % SLC protection.
+    pub fn paper(model: ModelConfig) -> Self {
+        BackendParams {
+            model,
+            slc_rank_fraction: 0.05,
+            mlc_mode: CellMode::MLC2,
+        }
+    }
+}
+
+type BackendCtor = fn(&BackendParams) -> Result<Box<dyn Backend>>;
+type AcceleratorCtor = fn(f64) -> Box<dyn Accelerator>;
+
+/// One registered backend: its lookup name and constructors.
+pub struct BackendSpec {
+    /// Registry lookup name (also the `--backend` flag value).
+    pub name: &'static str,
+    /// One-line description shown in listings.
+    pub summary: &'static str,
+    build: BackendCtor,
+    accelerator: AcceleratorCtor,
+}
+
+/// The roster of comparison backends, in the order the paper's figures list
+/// them.
+pub struct BackendRegistry {
+    specs: Vec<BackendSpec>,
+}
+
+impl BackendRegistry {
+    /// The paper's five designs (ASADI in both precisions): `hyflexpim`,
+    /// `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim`.
+    pub fn paper() -> Self {
+        BackendRegistry {
+            specs: vec![
+                BackendSpec {
+                    name: "hyflexpim",
+                    summary: "HyFlexPIM hybrid SLC/MLC analog+digital RRAM PIM (this paper)",
+                    build: |p| {
+                        let hw = HyFlexPimConfig {
+                            mlc_mode: p.mlc_mode,
+                            ..HyFlexPimConfig::paper_default()
+                        };
+                        Ok(Box::new(HyFlexPim::new(
+                            PerformanceModel::new(hw)?,
+                            p.model.clone(),
+                            p.slc_rank_fraction,
+                        )?))
+                    },
+                    accelerator: |slc| Box::new(HyFlexPimAccelerator::new(slc)),
+                },
+                BackendSpec {
+                    name: "asadi-int8",
+                    summary: "ASADI\u{2020}: all-SLC RRAM PIM, INT8 linear layers, FP32 attention",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            Asadi::new(AsadiPrecision::Int8),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(Asadi::new(AsadiPrecision::Int8)),
+                },
+                BackendSpec {
+                    name: "asadi-fp32",
+                    summary: "ASADI as published: all-SLC RRAM PIM, FP32 everywhere",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            Asadi::new(AsadiPrecision::Fp32),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(Asadi::new(AsadiPrecision::Fp32)),
+                },
+                BackendSpec {
+                    name: "nmp",
+                    summary: "TransPIM-style near-memory processing in HBM banks",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            NearMemoryProcessing::new(),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(NearMemoryProcessing::new()),
+                },
+                BackendSpec {
+                    name: "sprint",
+                    summary: "SPRINT: in-RRAM attention pruning + digital INT8 processor",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            Sprint::new(),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(Sprint::new()),
+                },
+                BackendSpec {
+                    name: "non-pim",
+                    summary: "conventional digital INT8 accelerator fed from off-chip DRAM",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            NonPim::new(),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(NonPim::new()),
+                },
+            ],
+        }
+    }
+
+    /// The registered specs, in paper-figure order.
+    pub fn specs(&self) -> &[BackendSpec] {
+        &self.specs
+    }
+
+    /// The registered names, in paper-figure order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.specs.iter().any(|s| s.name == name)
+    }
+
+    /// Validates a backend name without building anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] naming the available backends for
+    /// an unknown name.
+    pub fn ensure_known(&self, name: &str) -> Result<()> {
+        if self.contains(name) {
+            Ok(())
+        } else {
+            Err(self.unknown(name))
+        }
+    }
+
+    /// Builds the named backend bound to `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] naming the available backends for
+    /// an unknown name, and propagates construction errors.
+    pub fn build(&self, name: &str, params: &BackendParams) -> Result<Box<dyn Backend>> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| self.unknown(name))?;
+        (spec.build)(params)
+    }
+
+    /// Builds the named design as a model-unbound [`Accelerator`] for the
+    /// energy/area comparison figures. `slc_rank_fraction` applies to
+    /// HyFlexPIM only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] naming the available backends for
+    /// an unknown name.
+    pub fn accelerator(&self, name: &str, slc_rank_fraction: f64) -> Result<Box<dyn Accelerator>> {
+        let spec = self
+            .specs
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| self.unknown(name))?;
+        Ok((spec.accelerator)(slc_rank_fraction))
+    }
+
+    /// All designs as [`Accelerator`]s, in paper-figure order (the basis of
+    /// the deprecated `all_accelerators` free function).
+    pub fn accelerators(&self, slc_rank_fraction: f64) -> Vec<Box<dyn Accelerator>> {
+        self.specs
+            .iter()
+            .map(|s| (s.accelerator)(slc_rank_fraction))
+            .collect()
+    }
+
+    fn unknown(&self, name: &str) -> PimError {
+        PimError::InvalidConfig(format!(
+            "unknown backend '{name}'; available backends: {}",
+            self.names().join(", ")
+        ))
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        BackendRegistry::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyflex_pim::backend::InferenceRequest;
+
+    #[test]
+    fn registry_lists_all_paper_designs_in_order() {
+        let registry = BackendRegistry::paper();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "hyflexpim",
+                "asadi-int8",
+                "asadi-fp32",
+                "nmp",
+                "sprint",
+                "non-pim"
+            ]
+        );
+        assert!(registry.contains("sprint"));
+        assert!(!registry.contains("tpu"));
+    }
+
+    #[test]
+    fn every_registered_backend_builds_and_evaluates() {
+        let registry = BackendRegistry::paper();
+        let params = BackendParams::paper(ModelConfig::bert_large());
+        for name in registry.names() {
+            let backend = registry.build(name, &params).unwrap();
+            let summary = backend.evaluate(&InferenceRequest::of_len(0, 128)).unwrap();
+            assert!(
+                summary.latency.total_ns() > 0.0,
+                "{name} reports no latency"
+            );
+            let batched = backend.evaluate_batched(128, 4).unwrap();
+            assert_eq!(batched.single, summary, "{name} batched/single mismatch");
+            assert!(backend.capacity() >= backend.request_cells(128), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_list_the_available_backends() {
+        let registry = BackendRegistry::paper();
+        let err = registry
+            .build("tpu-v7", &BackendParams::paper(ModelConfig::bert_base()))
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("tpu-v7"), "{message}");
+        for name in registry.names() {
+            assert!(message.contains(name), "{message} should list {name}");
+        }
+        assert!(registry.accelerator("tpu-v7", 0.05).is_err());
+    }
+
+    #[test]
+    fn hyflexpim_entry_honors_the_mlc_mode() {
+        let registry = BackendRegistry::paper();
+        let mut params = BackendParams::paper(ModelConfig::bert_large());
+        let mlc2 = registry.build("hyflexpim", &params).unwrap();
+        params.mlc_mode = CellMode::Mlc { bits: 4 };
+        let mlc4 = registry.build("hyflexpim", &params).unwrap();
+        let e2 = mlc2.evaluate(&InferenceRequest::of_len(0, 128)).unwrap();
+        let e4 = mlc4.evaluate(&InferenceRequest::of_len(0, 128)).unwrap();
+        // Denser cells pack more bits per array: the mappings differ.
+        assert_ne!(e2.energy.total_pj(), e4.energy.total_pj());
+    }
+}

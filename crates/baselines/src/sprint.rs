@@ -11,6 +11,7 @@
 use crate::Accelerator;
 use hyflex_circuits::EnergyModel;
 use hyflex_pim::energy_breakdown::EnergyBreakdown;
+use hyflex_pim::perf::{self, BatchPerfSummary, LatencyBreakdown, PerfSummary};
 use hyflex_pim::Result;
 use hyflex_transformer::config::ModelConfig;
 use hyflex_transformer::ops_count::{self, Stage};
@@ -27,6 +28,16 @@ pub const WEIGHT_STREAM_FACTOR: f64 = 1.5;
 
 /// Die area of the SPRINT-style digital accelerator, mm² (65 nm).
 pub const SPRINT_AREA_MM2: f64 = 30.0;
+
+/// Throughput of the in-RRAM pruning pre-processor, (query, key) pairs per
+/// second: the MSB-precision correlation pass runs massively parallel across
+/// the crossbar banks, so it contributes only a small latency term.
+pub const SPRINT_PRUNE_PAIRS_PER_S: f64 = 1.0e13;
+
+/// Aggregate on-chip memory bandwidth feeding the digital datapath, bytes
+/// per second. Weight streaming overlaps with compute; only the excess over
+/// the compute time is exposed as stall.
+pub const SPRINT_MEM_BYTES_PER_S: f64 = 1.0e12;
 
 /// The SPRINT baseline.
 #[derive(Debug, Clone)]
@@ -97,6 +108,64 @@ impl Accelerator for Sprint {
         "SPRINT"
     }
 
+    /// Sparsity-scaled digital timing: the datapath executes the linear
+    /// layers in full and only the surviving 25.4 % of the attention work;
+    /// the in-RRAM pruning pass adds a small analog term, and weight
+    /// streaming is exposed only where it exceeds the compute time.
+    fn perf_summary(&self, model: &ModelConfig, seq_len: usize) -> Result<PerfSummary> {
+        let stages = ops_count::model_ops(model, seq_len);
+        let mut linear_macs = 0.0f64;
+        let mut attention_macs = 0.0f64;
+        let mut softmax_elems = 0.0f64;
+        for s in &stages {
+            match s.stage {
+                Stage::TokenGenerationFc | Stage::ProjectionFc | Stage::Ffn1 | Stage::Ffn2 => {
+                    linear_macs += s.ops as f64
+                }
+                Stage::ScoreQKt | Stage::ProbV => attention_macs += s.ops as f64,
+                Stage::Softmax => softmax_elems += s.ops as f64,
+            }
+        }
+        let surviving = 1.0 - SPRINT_ATTENTION_SPARSITY;
+        let digital_s = (linear_macs + attention_macs * surviving) * 2.0 / SPRINT_PEAK_OPS_PER_S;
+        let sfu_s = softmax_elems * surviving * 2.0 / SPRINT_PEAK_OPS_PER_S;
+        let pruning_pairs = (seq_len * seq_len * model.num_layers) as f64;
+        let analog_s = pruning_pairs / SPRINT_PRUNE_PAIRS_PER_S;
+        let weight_bytes = model.static_params_total() as f64 * WEIGHT_STREAM_FACTOR;
+        let mem_s = weight_bytes / SPRINT_MEM_BYTES_PER_S;
+        let interconnect_s = (mem_s - digital_s).max(0.0);
+        let latency = LatencyBreakdown {
+            analog_ns: analog_s * 1e9,
+            digital_ns: digital_s * 1e9,
+            sfu_ns: sfu_s * 1e9,
+            interconnect_ns: interconnect_s * 1e9,
+            queueing_ns: 0.0,
+        };
+        let total_ops = ops_count::total_ops(model, seq_len) * 2;
+        Ok(PerfSummary::from_parts(
+            self.breakdown(model, seq_len),
+            latency,
+            total_ops,
+            SPRINT_AREA_MM2,
+            1,
+        ))
+    }
+
+    /// SPRINT's digital processor works through a batch serially (weight
+    /// streaming already overlaps compute for any realistic shape, so there
+    /// is no traffic left for batching to amortize): the initiation interval
+    /// is the full request latency.
+    fn batch_summary(
+        &self,
+        model: &ModelConfig,
+        seq_len: usize,
+        batch_size: usize,
+    ) -> Result<BatchPerfSummary> {
+        let single = self.perf_summary(model, seq_len)?;
+        let interval_ns = single.latency.total_ns();
+        perf::batch_summary_from_interval(single, interval_ns, batch_size)
+    }
+
     fn linear_layer_energy_pj(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
         let stages = ops_count::model_ops(model, seq_len);
         let linear_macs: f64 = stages
@@ -111,22 +180,6 @@ impl Accelerator for Sprint {
 
     fn end_to_end_energy(&self, model: &ModelConfig, seq_len: usize) -> Result<EnergyBreakdown> {
         Ok(self.breakdown(model, seq_len))
-    }
-
-    fn tops_per_mm2(&self, model: &ModelConfig, seq_len: usize) -> Result<f64> {
-        // Effective work: everything except the pruned attention fraction.
-        let stages = ops_count::model_ops(model, seq_len);
-        let total: f64 = stages.iter().map(|s| s.ops as f64).sum::<f64>() * 2.0;
-        let attention: f64 = stages
-            .iter()
-            .filter(|s| matches!(s.stage, Stage::ScoreQKt | Stage::ProbV))
-            .map(|s| s.ops as f64)
-            .sum::<f64>()
-            * 2.0;
-        let executed = total - attention * SPRINT_ATTENTION_SPARSITY;
-        let latency_s = executed / SPRINT_PEAK_OPS_PER_S;
-        let tops = total / latency_s / 1e12;
-        Ok(tops / SPRINT_AREA_MM2)
     }
 }
 

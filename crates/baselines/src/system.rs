@@ -1,0 +1,191 @@
+//! Validated, fluent construction of a deployed comparison system.
+//!
+//! Before [`SystemBuilder`], every consumer hand-assembled its deployment:
+//! `PerformanceModel::paper_default()` here, an SLC rate there, an MLC mode
+//! somewhere else — each binary validating (or forgetting to validate) its
+//! own knobs. The builder concentrates that in one place:
+//!
+//! ```
+//! use hyflex_baselines::SystemBuilder;
+//!
+//! let backend = SystemBuilder::paper()
+//!     .slc_rate(0.05)
+//!     .mlc_bits(2)
+//!     .backend("asadi-int8")
+//!     .build()
+//!     .unwrap();
+//! assert!(backend.name().starts_with("ASADI"));
+//! ```
+//!
+//! `build()` rejects an SLC rate outside `[0, 1]`, an MLC level outside
+//! `2..=4`, and unknown backend names (the error lists the available
+//! backends), so the figure binaries and the serving simulator never see a
+//! half-validated configuration.
+
+use crate::registry::{BackendParams, BackendRegistry};
+use hyflex_pim::backend::Backend;
+use hyflex_pim::{PimError, Result};
+use hyflex_rram::cell::CellMode;
+use hyflex_transformer::config::ModelConfig;
+
+/// Fluent builder for a model-bound comparison backend.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    model: ModelConfig,
+    slc_rate: f64,
+    mlc_bits: u8,
+    backend: String,
+}
+
+impl SystemBuilder {
+    /// The paper's deployment: BERT-Large, 5 % SLC protection, 2-bit MLC,
+    /// the HyFlexPIM backend.
+    pub fn paper() -> Self {
+        SystemBuilder {
+            model: ModelConfig::bert_large(),
+            slc_rate: 0.05,
+            mlc_bits: 2,
+            backend: "hyflexpim".to_string(),
+        }
+    }
+
+    /// Serves `model` instead of BERT-Large.
+    #[must_use]
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// SLC protection rate of the HyFlexPIM mapping (fraction of factored
+    /// ranks kept in SLC). Validated to `[0, 1]` at build time.
+    #[must_use]
+    pub fn slc_rate(mut self, slc_rate: f64) -> Self {
+        self.slc_rate = slc_rate;
+        self
+    }
+
+    /// Bits per MLC cell for the HyFlexPIM mapping. Validated to `2..=4` at
+    /// build time.
+    #[must_use]
+    pub fn mlc_bits(mut self, mlc_bits: u8) -> Self {
+        self.mlc_bits = mlc_bits;
+        self
+    }
+
+    /// Selects the backend by registry name (see
+    /// [`BackendRegistry::names`]).
+    #[must_use]
+    pub fn backend(mut self, name: &str) -> Self {
+        self.backend = name.to_string();
+        self
+    }
+
+    /// The currently selected backend name.
+    pub fn backend_name(&self) -> &str {
+        &self.backend
+    }
+
+    /// Validates the configuration and builds the bound backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for an SLC rate outside `[0, 1]`,
+    /// an MLC level outside `2..=4`, or an unknown backend name (the message
+    /// lists the available backends); propagates model/hardware validation
+    /// errors.
+    pub fn build(self) -> Result<Box<dyn Backend>> {
+        if !(0.0..=1.0).contains(&self.slc_rate) || self.slc_rate.is_nan() {
+            return Err(PimError::InvalidConfig(format!(
+                "slc_rate {} must lie in [0, 1]",
+                self.slc_rate
+            )));
+        }
+        if !(2..=4).contains(&self.mlc_bits) {
+            return Err(PimError::InvalidConfig(format!(
+                "mlc_bits {} must lie in 2..=4",
+                self.mlc_bits
+            )));
+        }
+        self.model.validate()?;
+        let registry = BackendRegistry::paper();
+        let params = BackendParams {
+            model: self.model,
+            slc_rank_fraction: self.slc_rate,
+            mlc_mode: CellMode::Mlc {
+                bits: self.mlc_bits,
+            },
+        };
+        registry.build(&self.backend, &params)
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyflex_pim::backend::InferenceRequest;
+
+    #[test]
+    fn paper_defaults_build_the_hyflexpim_backend() {
+        let backend = SystemBuilder::paper().build().unwrap();
+        assert!(backend.name().contains("HyFlexPIM"));
+        assert_eq!(backend.model().name, "BERT-Large");
+        assert!(backend.evaluate(&InferenceRequest::of_len(0, 128)).is_ok());
+    }
+
+    #[test]
+    fn builder_selects_models_and_backends() {
+        let backend = SystemBuilder::paper()
+            .model(ModelConfig::gpt2_small())
+            .backend("sprint")
+            .build()
+            .unwrap();
+        assert_eq!(backend.name(), "SPRINT");
+        assert_eq!(backend.model().name, "GPT-2");
+    }
+
+    #[test]
+    fn slc_rate_outside_unit_interval_is_rejected() {
+        for bad in [-0.01, 1.01, f64::NAN, f64::INFINITY] {
+            let err = SystemBuilder::paper().slc_rate(bad).build().unwrap_err();
+            assert!(
+                err.to_string().contains("slc_rate"),
+                "unexpected error: {err}"
+            );
+        }
+        assert!(SystemBuilder::paper().slc_rate(0.0).build().is_ok());
+        assert!(SystemBuilder::paper().slc_rate(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn mlc_bits_outside_supported_levels_are_rejected() {
+        for bad in [0u8, 1, 5, 8] {
+            let err = SystemBuilder::paper().mlc_bits(bad).build().unwrap_err();
+            assert!(
+                err.to_string().contains("mlc_bits"),
+                "unexpected error: {err}"
+            );
+        }
+        for good in [2u8, 3, 4] {
+            assert!(SystemBuilder::paper().mlc_bits(good).build().is_ok());
+        }
+    }
+
+    #[test]
+    fn unknown_backend_errors_list_the_available_names() {
+        let err = SystemBuilder::paper()
+            .backend("asadi-int4")
+            .build()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("asadi-int4"));
+        for name in BackendRegistry::paper().names() {
+            assert!(message.contains(name), "{message} should list {name}");
+        }
+    }
+}

@@ -53,7 +53,7 @@ fn bench_bit_serial_gemv(c: &mut Criterion) {
 fn bench_digital_pim(c: &mut Criterion) {
     let mut module = DigitalPimModule::paper_default();
     let q: Vec<Vec<i32>> = (0..16)
-        .map(|i| (0..64).map(|j| ((i * j) % 17) as i32 - 8).collect())
+        .map(|i| (0..64).map(|j| ((i * j) % 17) - 8).collect())
         .collect();
     let k = q.clone();
     c.bench_function("digital_pim/qk_scores_16x64", |b| {

@@ -7,6 +7,7 @@ use hyflex_transformer::ModelConfig;
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    args.require_hyflexpim("fig02 counts transformer operations per stage, a model property independent of the accelerator");
     let model = ModelConfig::bert_base();
     let lengths = [128usize, 512, 1024, 2048, 3072];
     emitln!("Figure 2 — operations per stage (BERT-Base, x1e8 operations)");

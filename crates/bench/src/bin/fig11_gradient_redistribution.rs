@@ -26,6 +26,7 @@ fn summarize(label: &str, gradients: &[f64]) {
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    args.require_hyflexpim("fig11 profiles the SVD gradient-redistribution pipeline of HyFlexPIM");
     let seed = args.seed_or(11);
     let dataset = glue::generate(GlueTask::Mrpc, &GlueConfig::default(), seed);
     emitln!("Figure 11 — gradient redistribution (tiny encoder, synthetic MRPC)");

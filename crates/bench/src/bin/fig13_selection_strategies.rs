@@ -18,6 +18,9 @@ const SEEDS_PER_RATE: u64 = 3;
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    // SLC selection is a HyFlexPIM-mapping concern; reject other backends
+    // (and unknown names) through the registry.
+    args.require_hyflexpim("fig13 compares SLC selection strategies of the HyFlexPIM mapping");
     let pool = args.pool();
     emitln!(
         "Figure 13 — SLC selection strategy comparison (tiny encoder, {} workers)",

@@ -1,13 +1,22 @@
 //! Figure 14: normalized linear-layer energy versus the baselines, across
 //! sequence lengths and SLC protection rates.
+//!
+//! Common flags: `--out PATH`, `--backend NAME` (restrict the baseline rows
+//! to one registered design).
 
-use hyflex_baselines::{all_accelerators, Accelerator, NonPim};
+use hyflex_baselines::{Accelerator, BackendRegistry, NonPim};
 use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ModelConfig;
 
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    let registry = BackendRegistry::paper();
+    // --backend restricts the comparison rows; default shows every design.
+    let baselines: Vec<Box<dyn Accelerator>> = match args.selected_backend_or_exit() {
+        Some(name) => vec![registry.accelerator(&name, 0.05).expect("name validated")],
+        None => registry.accelerators(0.05).into_iter().skip(1).collect(),
+    };
     let model = ModelConfig::bert_large();
     let lengths = [128usize, 512, 1024, 2048, 4096, 8192];
     let slc_rates = [0.05, 0.10, 0.30, 0.40, 0.50];
@@ -21,14 +30,14 @@ fn main() {
             .expect("baseline energy");
         print_row("Accelerator", &[format!("{:>12}", "norm. energy")]);
         for &rate in &slc_rates {
-            let hyflex = &all_accelerators(rate)[0];
+            let hyflex = registry.accelerator("hyflexpim", rate).expect("registered");
             let e = hyflex.linear_layer_energy_pj(&model, n).expect("energy");
             print_row(
                 &format!("HyFlexPIM {}% SLC", (rate * 100.0) as u32),
                 &[fmt(100.0 * e / reference, 1)],
             );
         }
-        for accelerator in all_accelerators(0.05).into_iter().skip(1) {
+        for accelerator in &baselines {
             let e = accelerator
                 .linear_layer_energy_pj(&model, n)
                 .expect("energy");

@@ -1,10 +1,13 @@
 //! Figure 15: end-to-end energy comparison and HyFlexPIM component breakdown.
+//!
+//! Common flags: `--out PATH`, `--backend NAME` (restrict the comparison
+//! rows to one registered design).
 
-use hyflex_baselines::{all_accelerators, Accelerator, HyFlexPimAccelerator};
+use hyflex_baselines::{Accelerator, BackendRegistry, HyFlexPimAccelerator};
 use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_transformer::ModelConfig;
 
-fn comparison(model: &ModelConfig, slc_rate: f64) {
+fn comparison(model: &ModelConfig, slc_rate: f64, selected: Option<&str>) {
     let lengths = [128usize, 512, 1024];
     emitln!(
         "\nEnd-to-end energy for {} (HyFlexPIM at {}% SLC), normalized to HyFlexPIM = 1.0",
@@ -25,7 +28,14 @@ fn comparison(model: &ModelConfig, slc_rate: f64) {
                 .total_pj()
         })
         .collect();
-    for accelerator in all_accelerators(slc_rate) {
+    let registry = BackendRegistry::paper();
+    let accelerators: Vec<Box<dyn Accelerator>> = match selected {
+        Some(name) => vec![registry
+            .accelerator(name, slc_rate)
+            .expect("name validated")],
+        None => registry.accelerators(slc_rate),
+    };
+    for accelerator in accelerators {
         let values: Vec<String> = lengths
             .iter()
             .enumerate()
@@ -76,13 +86,15 @@ fn breakdown(model: &ModelConfig, slc_rate: f64) {
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    // --backend restricts the comparison rows; default shows every design.
+    let selected = args.selected_backend_or_exit();
     emitln!("Figure 15 — end-to-end energy comparison and breakdown");
     // (a, b): BERT-Large at 5% SLC.
     let bert = ModelConfig::bert_large();
-    comparison(&bert, 0.05);
+    comparison(&bert, 0.05, selected.as_deref());
     breakdown(&bert, 0.05);
     // (c, d): GPT-2 at 30% SLC.
     let gpt2 = ModelConfig::gpt2_small();
-    comparison(&gpt2, 0.30);
+    comparison(&gpt2, 0.30, selected.as_deref());
     breakdown(&gpt2, 0.30);
 }

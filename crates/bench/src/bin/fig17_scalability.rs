@@ -7,6 +7,7 @@ use hyflex_transformer::ModelConfig;
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    args.require_hyflexpim("fig17 models HyFlexPIM multi-PU/multi-chip scaling");
     let model = ScalabilityModel::paper_default();
     emitln!("Figure 17 — memory requirements and throughput scalability (N = 8192)");
 

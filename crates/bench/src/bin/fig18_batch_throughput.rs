@@ -2,32 +2,30 @@
 //!
 //! Not a figure of the source paper — X-Former-style batched pipelining
 //! applied to the HyFlexPIM model. Part (a) sweeps the batch size through
-//! `PerformanceModel::evaluate_batched`: pipelining B requests through the
-//! layer pipeline amortizes fill/drain (the `1 + (L-1)/N` overhead of the
+//! `Backend::evaluate_batched`: pipelining B requests through the layer
+//! pipeline amortizes fill/drain (the `1 + (L-1)/N` overhead of the
 //! single-request latency), so gains are largest for short, decode-like
 //! sequences where N < L. Part (b) runs the closed-loop `ServingSim` at
 //! increasing offered load and reports latency percentiles. Common flags:
-//! `--seed N`, `--out PATH`.
+//! `--seed N`, `--out PATH`, `--backend NAME` (run the sweep on a baseline
+//! backend instead of HyFlexPIM; defaults reproduce the historical HyFlexPIM
+//! rows bit for bit).
 
 use hyflex_bench::{emitln, fmt, print_row, BinArgs};
-use hyflex_pim::perf::EvaluationPoint;
-use hyflex_pim::PerformanceModel;
+use hyflex_pim::backend::Backend;
 use hyflex_runtime::{SchedulerConfig, ServingConfig, ServingSim};
 use hyflex_transformer::ModelConfig;
 
 const BATCH_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
 const SLC_RATE: f64 = 0.05;
 
-fn batch_sweep(title: &str, model: ModelConfig, seq_len: usize) {
-    let perf = PerformanceModel::paper_default();
-    let point = EvaluationPoint {
-        model,
-        seq_len,
-        slc_rank_fraction: SLC_RATE,
-    };
+fn batch_sweep(args: &BinArgs, title: &str, model: ModelConfig, seq_len: usize) {
+    let backend = args.build_backend_or_exit("hyflexpim", model, SLC_RATE);
+    // The backend name already carries the mapping parameters where they
+    // apply (e.g. "HyFlexPIM (5% SLC)"); baselines have no SLC rate.
     emitln!(
-        "\n(a) {title}: batch-size sweep (N = {seq_len}, {}% SLC)",
-        (SLC_RATE * 100.0) as u32
+        "\n(a) {title}: batch-size sweep on {} (N = {seq_len})",
+        backend.name()
     );
     print_row(
         "Batch",
@@ -41,7 +39,8 @@ fn batch_sweep(title: &str, model: ModelConfig, seq_len: usize) {
         ],
     );
     for s in BATCH_SIZES.iter().map(|&b| {
-        perf.evaluate_batched(&point, b)
+        backend
+            .evaluate_batched(seq_len, b)
             .expect("batched evaluation")
     }) {
         print_row(
@@ -58,10 +57,13 @@ fn batch_sweep(title: &str, model: ModelConfig, seq_len: usize) {
     }
 }
 
-fn serving_sweep(seed: u64, model: ModelConfig, seq_len: usize) {
+fn serving_sweep(args: &BinArgs, seed: u64, model: ModelConfig, seq_len: usize) {
+    let backend: std::sync::Arc<dyn Backend> =
+        std::sync::Arc::from(args.build_backend_or_exit("hyflexpim", model.clone(), SLC_RATE));
     emitln!(
-        "\n(b) {}: closed-loop serving (Poisson arrivals, batch cap 16, N = {seq_len})",
-        model.name
+        "\n(b) {}: closed-loop serving on {} (Poisson arrivals, batch cap 16, N = {seq_len})",
+        model.name,
+        backend.name()
     );
     print_row(
         "Offered QPS",
@@ -74,17 +76,9 @@ fn serving_sweep(seed: u64, model: ModelConfig, seq_len: usize) {
             "util %".to_string(),
         ],
     );
-    let perf = PerformanceModel::paper_default();
     // Anchor the load sweep to the modeled single-request service rate.
-    let single = perf
-        .evaluate_batched(
-            &EvaluationPoint {
-                model: model.clone(),
-                seq_len,
-                slc_rank_fraction: SLC_RATE,
-            },
-            1,
-        )
+    let single = backend
+        .evaluate_batched(seq_len, 1)
         .expect("single-request evaluation");
     let service_qps = 1e9 / single.makespan_ns;
     for load in [0.25, 0.5, 1.0, 2.0, 4.0] {
@@ -96,7 +90,7 @@ fn serving_sweep(seed: u64, model: ModelConfig, seq_len: usize) {
             seed,
             scheduler: SchedulerConfig::default(),
         };
-        let report = ServingSim::new(perf.clone(), model.clone(), config)
+        let report = ServingSim::with_backend(std::sync::Arc::clone(&backend), config)
             .expect("serving sim")
             .run()
             .expect("serving run");
@@ -118,10 +112,15 @@ fn main() {
     let args = BinArgs::parse();
     args.init_output();
     emitln!("Figure 18 — batched inference throughput and serving latency");
-    batch_sweep("GLUE / BERT-Large", ModelConfig::bert_large(), 128);
-    batch_sweep("WikiText-2 / GPT-2", ModelConfig::gpt2_small(), 1024);
+    batch_sweep(&args, "GLUE / BERT-Large", ModelConfig::bert_large(), 128);
+    batch_sweep(&args, "WikiText-2 / GPT-2", ModelConfig::gpt2_small(), 1024);
     // Decode proxy: short sequences leave the layer pipeline mostly empty,
     // so batching recovers the largest throughput factor here.
-    batch_sweep("decode proxy / BERT-Large", ModelConfig::bert_large(), 16);
-    serving_sweep(args.seed_or(18), ModelConfig::bert_large(), 128);
+    batch_sweep(
+        &args,
+        "decode proxy / BERT-Large",
+        ModelConfig::bert_large(),
+        16,
+    );
+    serving_sweep(&args, args.seed_or(18), ModelConfig::bert_large(), 128);
 }

@@ -6,6 +6,7 @@ use hyflex_pim::finetune::HyperParams;
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    args.require_hyflexpim("table1 lists the HyFlexPIM fine-tuning hyper-parameters");
     emitln!("Table 1 — fine-tuning hyper-parameters");
     print_row(
         "Model",

@@ -6,6 +6,7 @@ use hyflex_circuits::Table2;
 fn main() {
     let args = BinArgs::parse();
     args.init_output();
+    args.require_hyflexpim("table2 lists the HyFlexPIM hardware configuration");
     let table = Table2::paper_65nm();
     for module in [&table.analog, &table.digital] {
         emitln!("{} (65 nm)", module.name);

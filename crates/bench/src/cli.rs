@@ -8,11 +8,18 @@
 //! * `--mlc-bits B` — MLC cell level for ablations (2..=4, default 2);
 //! * `--out PATH` — tee every printed row to a file;
 //! * `--threads N` — worker-pool width for parallelized sweeps
-//!   (default: machine parallelism).
+//!   (default: machine parallelism);
+//! * `--backend NAME` — which registered comparison backend to evaluate
+//!   (`hyflexpim`, `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim`);
+//!   binaries that only model HyFlexPIM (the accuracy sweeps) reject other
+//!   names with the registry's listing.
 
 use crate::output;
+use hyflex_baselines::{BackendRegistry, SystemBuilder};
+use hyflex_pim::backend::Backend;
 use hyflex_rram::cell::CellMode;
 use hyflex_runtime::JobPool;
+use hyflex_transformer::ModelConfig;
 use std::path::PathBuf;
 
 /// Parsed common flags.
@@ -26,6 +33,8 @@ pub struct BinArgs {
     pub out: Option<PathBuf>,
     /// `--threads N`: worker-pool width.
     pub threads: Option<usize>,
+    /// `--backend NAME`: registered comparison backend.
+    pub backend: Option<String>,
 }
 
 impl BinArgs {
@@ -50,7 +59,109 @@ impl BinArgs {
             .filter(|b| (2..=4).contains(b));
         parsed.out = value_of("--out").map(PathBuf::from);
         parsed.threads = value_of("--threads").and_then(|v| v.parse().ok());
+        parsed.backend = value_of("--backend").cloned();
         parsed
+    }
+
+    /// The `--backend` selection (or `default`), validated against the
+    /// [`BackendRegistry`]. Binaries call this even when they only support
+    /// one backend, so an unknown name always fails with the registry's
+    /// listing instead of being silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the registry's unknown-backend error (which names the
+    /// available backends).
+    pub fn backend_or(&self, default: &str) -> hyflex_pim::Result<String> {
+        let name = self.backend.clone().unwrap_or_else(|| default.to_string());
+        BackendRegistry::paper().ensure_known(&name)?;
+        Ok(name)
+    }
+
+    /// Binary-facing variant of [`BinArgs::backend_or`]: prints the
+    /// registry's unknown-backend listing and exits with status 2 instead of
+    /// returning an error.
+    pub fn backend_or_exit(&self, default: &str) -> String {
+        match self.backend_or(default) {
+            Ok(name) => name,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// For comparison figures whose default is "every registered design":
+    /// `None` when `--backend` was not given, `Some(validated name)` when it
+    /// was; exits with status 2 (and the registry's listing) for unknown
+    /// names.
+    pub fn selected_backend_or_exit(&self) -> Option<String> {
+        let name = self.backend.clone()?;
+        if let Err(e) = BackendRegistry::paper().ensure_known(&name) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Some(name)
+    }
+
+    /// Binary-facing variant of [`BinArgs::build_backend`]: prints the
+    /// validation error and exits with status 2 instead of returning it.
+    pub fn build_backend_or_exit(
+        &self,
+        default: &str,
+        model: ModelConfig,
+        slc_rate: f64,
+    ) -> Box<dyn Backend> {
+        match self.build_backend(default, model, slc_rate) {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// For binaries that model only HyFlexPIM (the accuracy/selection
+    /// sweeps): resolves `--backend` through the registry and exits with
+    /// status 2 — printing the registry's listing for unknown names, or
+    /// `reason` for a registered baseline that has no such model.
+    pub fn require_hyflexpim(&self, reason: &str) {
+        match self.backend_or("hyflexpim") {
+            Ok(name) if name == "hyflexpim" => {}
+            Ok(name) => {
+                eprintln!(
+                    "{reason}; --backend {name} is not applicable \
+                     (use fig19_backend_serving for cross-backend comparisons)"
+                );
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds the selected backend bound to `model` through
+    /// [`SystemBuilder`], folding in the `--mlc-bits` ablation flag.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemBuilder::build`] validation errors (unknown
+    /// backend names, out-of-range rates).
+    pub fn build_backend(
+        &self,
+        default: &str,
+        model: ModelConfig,
+        slc_rate: f64,
+    ) -> hyflex_pim::Result<Box<dyn Backend>> {
+        let name = self.backend_or(default)?;
+        SystemBuilder::paper()
+            .model(model)
+            .slc_rate(slc_rate)
+            .mlc_bits(self.mlc_mode().bits_per_cell())
+            .backend(&name)
+            .build()
     }
 
     /// The binary's seed, unless overridden on the command line.
@@ -123,5 +234,41 @@ mod tests {
         assert_eq!(args.mlc_mode(), CellMode::MLC2);
         let args = parse(&["--seed", "not-a-number"]);
         assert_eq!(args.seed_or(5), 5);
+    }
+
+    #[test]
+    fn backend_flag_resolves_through_the_registry() {
+        let args = parse(&["--backend", "sprint"]);
+        assert_eq!(args.backend_or("hyflexpim").unwrap(), "sprint");
+        // Default applies when the flag is absent.
+        let args = parse(&[]);
+        assert_eq!(args.backend_or("hyflexpim").unwrap(), "hyflexpim");
+        // Unknown names fail with the registry's listing.
+        let args = parse(&["--backend", "gpu"]);
+        let err = args.backend_or("hyflexpim").unwrap_err().to_string();
+        assert!(err.contains("gpu") && err.contains("hyflexpim"), "{err}");
+    }
+
+    #[test]
+    fn build_backend_binds_the_model_and_mlc_flag() {
+        let args = parse(&["--backend", "non-pim"]);
+        let backend = args
+            .build_backend(
+                "hyflexpim",
+                hyflex_transformer::ModelConfig::bert_base(),
+                0.05,
+            )
+            .unwrap();
+        assert_eq!(backend.name(), "Non-PIM");
+        assert_eq!(backend.model().name, "BERT-Base");
+        let args = parse(&["--mlc-bits", "3"]);
+        let backend = args
+            .build_backend(
+                "hyflexpim",
+                hyflex_transformer::ModelConfig::bert_base(),
+                0.05,
+            )
+            .unwrap();
+        assert!(backend.name().contains("HyFlexPIM"));
     }
 }

@@ -169,7 +169,7 @@ impl SpecialFunctionUnit {
     /// Hardware GELU using the tanh approximation with the Taylor exponential
     /// (`tanh(z) = 1 − 2 / (e^{2z} + 1)`).
     pub fn gelu(&mut self, x: &[f32]) -> Vec<f32> {
-        const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+        const SQRT_2_OVER_PI: f32 = 0.797_884_6;
         let out = x
             .iter()
             .map(|&v| {

@@ -1,0 +1,292 @@
+//! The unified evaluation surface every modeled accelerator exposes.
+//!
+//! The paper's headline claims are comparative — HyFlexPIM versus ASADI,
+//! SPRINT, near-memory processing, and a non-PIM digital design — yet prior
+//! to this module only HyFlexPIM could flow through the latency/serving
+//! machinery (`hyflex-runtime`): the baselines exposed energy and area alone.
+//! [`Backend`] subsumes both surfaces: one workload description
+//! ([`InferenceRequest`]) driven across interchangeable device models, each
+//! returning the same [`PerfSummary`] / [`BatchPerfSummary`] the HyFlexPIM
+//! performance model produces.
+//!
+//! A backend instance is **bound** to a deployment: the hardware model, the
+//! transformer architecture it serves, and any mapping parameters (for
+//! HyFlexPIM, the SLC protection rate) are fixed at construction, so the
+//! per-request surface needs only a sequence length. That is what lets
+//! `ServingSim<B: Backend>` and `BatchScheduler` stay agnostic of *which*
+//! accelerator is being simulated.
+//!
+//! Implementations live next to their models: [`HyFlexPim`] here (wrapping
+//! [`PerformanceModel`]), the four baselines in `hyflex-baselines` (via its
+//! `BackendRegistry` / `SystemBuilder`).
+
+use crate::arch::Chip;
+use crate::perf::{BatchPerfSummary, EvaluationPoint, PerfSummary, PerformanceModel};
+use crate::PimError;
+use crate::Result;
+use hyflex_transformer::config::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One inference request submitted to a backend or the runtime.
+///
+/// (Moved here from `hyflex-runtime` so the device trait and the scheduler
+/// share one request type; the runtime re-exports it.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Caller-assigned identifier.
+    pub id: u64,
+    /// Arrival time in nanoseconds since simulation start.
+    pub arrival_ns: f64,
+    /// Sequence length of the request.
+    pub seq_len: usize,
+}
+
+impl InferenceRequest {
+    /// A request of the given length arriving at t = 0 (convenient for
+    /// one-off evaluations where arrival time is irrelevant).
+    pub fn of_len(id: u64, seq_len: usize) -> Self {
+        InferenceRequest {
+            id,
+            arrival_ns: 0.0,
+            seq_len,
+        }
+    }
+}
+
+/// A transformer accelerator bound to a model deployment, evaluable
+/// analytically for latency, energy, and area.
+///
+/// All methods take `&self`; implementations are expected to be cheap,
+/// deterministic, and side-effect free so backends can be shared across the
+/// runtime's worker threads (hence the `Send + Sync` supertraits).
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Human-readable name used in printed tables and registry lookups.
+    fn name(&self) -> &str;
+
+    /// The transformer architecture this backend instance serves.
+    fn model(&self) -> &ModelConfig;
+
+    /// Capacity of one layer-pipeline tile in *cells* — the per-batch budget
+    /// `BatchScheduler` admits requests against. For HyFlexPIM this is the
+    /// digital-PIM cell count of one PU; bandwidth-bound baselines report
+    /// their activation-buffer budget in the same unit (bits).
+    fn capacity(&self) -> usize;
+
+    /// Cells one request of length `seq_len` occupies in one layer tile
+    /// while in flight.
+    fn request_cells(&self, seq_len: usize) -> usize;
+
+    /// Evaluates one request end to end: latency breakdown, energy
+    /// breakdown, throughput, and area.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/mapping errors.
+    fn evaluate(&self, request: &InferenceRequest) -> Result<PerfSummary>;
+
+    /// Evaluates `batch_size` same-shape requests executed back to back
+    /// (padded to `seq_len`). A batch of one is bit-identical to
+    /// [`Backend::evaluate`]; an empty batch is a typed error
+    /// ([`PimError::EmptyBatch`]), never a NaN.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyBatch`] for `batch_size == 0` and propagates
+    /// single-request evaluation errors.
+    fn evaluate_batched(&self, seq_len: usize, batch_size: usize) -> Result<BatchPerfSummary>;
+}
+
+macro_rules! forward_backend {
+    ($ty:ty) => {
+        impl<B: Backend + ?Sized> Backend for $ty {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn model(&self) -> &ModelConfig {
+                (**self).model()
+            }
+            fn capacity(&self) -> usize {
+                (**self).capacity()
+            }
+            fn request_cells(&self, seq_len: usize) -> usize {
+                (**self).request_cells(seq_len)
+            }
+            fn evaluate(&self, request: &InferenceRequest) -> Result<PerfSummary> {
+                (**self).evaluate(request)
+            }
+            fn evaluate_batched(
+                &self,
+                seq_len: usize,
+                batch_size: usize,
+            ) -> Result<BatchPerfSummary> {
+                (**self).evaluate_batched(seq_len, batch_size)
+            }
+        }
+    };
+}
+
+forward_backend!(&B);
+forward_backend!(Box<B>);
+forward_backend!(std::sync::Arc<B>);
+
+/// Canonical display name of a HyFlexPIM deployment at an SLC protection
+/// rate — shared by every HyFlexPIM wrapper so printed tables agree.
+pub fn hyflexpim_display_name(slc_rank_fraction: f64) -> String {
+    format!(
+        "HyFlexPIM ({}% SLC)",
+        (slc_rank_fraction * 100.0).round() as u32
+    )
+}
+
+/// HyFlexPIM exposed through the [`Backend`] interface: the paper's hybrid
+/// SLC/MLC design, bound to a model and an SLC protection rate.
+///
+/// Results are bit-identical to calling [`PerformanceModel::evaluate`] /
+/// [`PerformanceModel::evaluate_batched`] with the equivalent
+/// [`EvaluationPoint`] — the determinism suite in `hyflex-runtime` and the
+/// root `tests/backend_api.rs` enforce this.
+#[derive(Debug, Clone)]
+pub struct HyFlexPim {
+    perf: PerformanceModel,
+    chip: Chip,
+    model: ModelConfig,
+    slc_rank_fraction: f64,
+    name: String,
+}
+
+impl HyFlexPim {
+    /// Binds a performance model to a deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for an SLC rate outside `[0, 1]`
+    /// and propagates hardware-configuration errors.
+    pub fn new(perf: PerformanceModel, model: ModelConfig, slc_rank_fraction: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&slc_rank_fraction) || slc_rank_fraction.is_nan() {
+            return Err(PimError::InvalidConfig(format!(
+                "slc_rank_fraction {slc_rank_fraction} must lie in [0, 1]"
+            )));
+        }
+        let chip = Chip::new(*perf.hw())?;
+        let name = hyflexpim_display_name(slc_rank_fraction);
+        Ok(HyFlexPim {
+            perf,
+            chip,
+            model,
+            slc_rank_fraction,
+            name,
+        })
+    }
+
+    /// The paper's configuration bound to `model` at `slc_rank_fraction`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for an SLC rate outside `[0, 1]`.
+    pub fn paper(model: ModelConfig, slc_rank_fraction: f64) -> Result<Self> {
+        HyFlexPim::new(PerformanceModel::paper_default(), model, slc_rank_fraction)
+    }
+
+    /// The underlying performance model.
+    pub fn performance_model(&self) -> &PerformanceModel {
+        &self.perf
+    }
+
+    /// The SLC protection rate of the deployed mapping.
+    pub fn slc_rank_fraction(&self) -> f64 {
+        self.slc_rank_fraction
+    }
+
+    fn point(&self, seq_len: usize) -> EvaluationPoint {
+        EvaluationPoint {
+            model: self.model.clone(),
+            seq_len,
+            slc_rank_fraction: self.slc_rank_fraction,
+        }
+    }
+}
+
+impl Backend for HyFlexPim {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    fn capacity(&self) -> usize {
+        self.perf.hw().digital_cells_per_pu()
+    }
+
+    fn request_cells(&self, seq_len: usize) -> usize {
+        self.chip.digital_cells_for_layer(&self.model, seq_len)
+    }
+
+    fn evaluate(&self, request: &InferenceRequest) -> Result<PerfSummary> {
+        self.perf.evaluate(&self.point(request.seq_len))
+    }
+
+    fn evaluate_batched(&self, seq_len: usize, batch_size: usize) -> Result<BatchPerfSummary> {
+        self.perf.evaluate_batched(&self.point(seq_len), batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hyflexpim_backend_is_bit_identical_to_the_perf_model() {
+        let backend = HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap();
+        let perf = PerformanceModel::paper_default();
+        let point = EvaluationPoint {
+            model: ModelConfig::bert_large(),
+            seq_len: 128,
+            slc_rank_fraction: 0.05,
+        };
+        let via_backend = backend.evaluate(&InferenceRequest::of_len(0, 128)).unwrap();
+        assert_eq!(via_backend, perf.evaluate(&point).unwrap());
+        let batched = backend.evaluate_batched(128, 8).unwrap();
+        assert_eq!(batched, perf.evaluate_batched(&point, 8).unwrap());
+        assert!(backend.name().contains("HyFlexPIM"));
+        assert_eq!(backend.model().name, "BERT-Large");
+    }
+
+    #[test]
+    fn capacity_matches_the_scheduler_contract() {
+        let backend = HyFlexPim::paper(ModelConfig::bert_large(), 0.1).unwrap();
+        let hw = crate::HyFlexPimConfig::paper_default();
+        assert_eq!(backend.capacity(), hw.digital_cells_per_pu());
+        let chip = Chip::new(hw).unwrap();
+        assert_eq!(
+            backend.request_cells(256),
+            chip.digital_cells_for_layer(&ModelConfig::bert_large(), 256)
+        );
+        // Longer requests always cost more tile cells.
+        assert!(backend.request_cells(512) > backend.request_cells(128));
+    }
+
+    #[test]
+    fn construction_rejects_out_of_range_slc_rates() {
+        for bad in [-0.1, 1.1, f64::NAN] {
+            assert!(HyFlexPim::paper(ModelConfig::bert_base(), bad).is_err());
+        }
+        assert!(HyFlexPim::paper(ModelConfig::bert_base(), 0.0).is_ok());
+        assert!(HyFlexPim::paper(ModelConfig::bert_base(), 1.0).is_ok());
+    }
+
+    #[test]
+    fn trait_objects_and_smart_pointers_forward() {
+        let backend = HyFlexPim::paper(ModelConfig::bert_base(), 0.05).unwrap();
+        let direct = backend.evaluate(&InferenceRequest::of_len(1, 64)).unwrap();
+        let boxed: Box<dyn Backend> = Box::new(backend.clone());
+        assert_eq!(
+            boxed.evaluate(&InferenceRequest::of_len(1, 64)).unwrap(),
+            direct
+        );
+        let arced: std::sync::Arc<dyn Backend> = std::sync::Arc::new(backend);
+        assert_eq!(arced.capacity(), boxed.capacity());
+        assert_eq!((*arced).name(), boxed.name());
+    }
+}

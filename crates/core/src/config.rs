@@ -96,7 +96,7 @@ impl HyFlexPimConfig {
             self.digital_array_rows,
             self.digital_array_cols,
         ];
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return Err(PimError::InvalidConfig(
                 "all geometry parameters must be non-zero".to_string(),
             ));

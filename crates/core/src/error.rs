@@ -10,6 +10,10 @@ pub enum PimError {
     InvalidConfig(String),
     /// A requested mapping does not fit the hardware resources.
     CapacityExceeded(String),
+    /// A batched evaluation was asked for zero requests. Kept distinct from
+    /// [`PimError::InvalidConfig`] so callers can branch on it without
+    /// string matching (an empty batch is a typed error, never a NaN).
+    EmptyBatch,
     /// An error bubbled up from the transformer substrate.
     Model(hyflex_transformer::ModelError),
     /// An error bubbled up from the RRAM substrate.
@@ -25,6 +29,7 @@ impl fmt::Display for PimError {
         match self {
             PimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PimError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
+            PimError::EmptyBatch => write!(f, "batch size must be at least 1"),
             PimError::Model(e) => write!(f, "model error: {e}"),
             PimError::Rram(e) => write!(f, "rram error: {e}"),
             PimError::Circuit(e) => write!(f, "circuit error: {e}"),

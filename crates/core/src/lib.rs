@@ -33,8 +33,13 @@
 //! * [`scalability`] — tensor/pipeline parallelism across PUs and chips
 //!   (Figure 17).
 //! * [`finetune`] — the fine-tuning hyper-parameters of Table 1.
+//! * [`backend`] — the unified [`Backend`] evaluation trait every modeled
+//!   accelerator (HyFlexPIM and the `hyflex-baselines` designs) implements,
+//!   so the runtime's scheduler, serving simulator, and sweep drivers are
+//!   backend-generic.
 
 pub mod arch;
+pub mod backend;
 pub mod config;
 pub mod energy_breakdown;
 pub mod error;
@@ -46,6 +51,7 @@ pub mod perf;
 pub mod scalability;
 pub mod selection;
 
+pub use backend::{Backend, HyFlexPim, InferenceRequest};
 pub use config::HyFlexPimConfig;
 pub use error::PimError;
 pub use gradient_redistribution::{GradientRedistribution, RedistributionReport};

@@ -96,6 +96,39 @@ pub struct PerfSummary {
 }
 
 impl PerfSummary {
+    /// Assembles a summary from the modeled quantities, deriving the
+    /// zero-guarded throughput (TOPS) and area efficiency (TOPS/mm²). Every
+    /// backend — HyFlexPIM's `evaluate` and the baselines — builds its
+    /// result through this so the derivations cannot drift apart.
+    pub fn from_parts(
+        energy: EnergyBreakdown,
+        latency: LatencyBreakdown,
+        total_ops: u64,
+        area_mm2: f64,
+        chips: usize,
+    ) -> Self {
+        let latency_s = latency.total_ns() * 1e-9;
+        let throughput_tops = if latency_s > 0.0 {
+            total_ops as f64 / latency_s / 1e12
+        } else {
+            0.0
+        };
+        let tops_per_mm2 = if area_mm2 > 0.0 {
+            throughput_tops / area_mm2
+        } else {
+            0.0
+        };
+        PerfSummary {
+            energy,
+            latency,
+            total_ops,
+            throughput_tops,
+            area_mm2,
+            tops_per_mm2,
+            chips,
+        }
+    }
+
     /// Energy efficiency in tera-operations per joule.
     pub fn tops_per_joule(&self) -> f64 {
         let joules = self.energy.total_pj() * 1e-12;
@@ -355,28 +388,10 @@ impl PerformanceModel {
 
         // ---- Throughput and area -----------------------------------------
         let total_ops = ops_count::total_ops(model, point.seq_len) * 2;
-        let latency_s = latency.total_ns() * 1e-9;
-        let throughput_tops = if latency_s > 0.0 {
-            total_ops as f64 / latency_s / 1e12
-        } else {
-            0.0
-        };
         let area_mm2 = self.chip_area_mm2() * chips as f64;
-        let tops_per_mm2 = if area_mm2 > 0.0 {
-            throughput_tops / area_mm2
-        } else {
-            0.0
-        };
-
-        Ok(PerfSummary {
-            energy,
-            latency,
-            total_ops,
-            throughput_tops,
-            area_mm2,
-            tops_per_mm2,
-            chips,
-        })
+        Ok(PerfSummary::from_parts(
+            energy, latency, total_ops, area_mm2, chips,
+        ))
     }
 
     /// Evaluates a slice of points serially. This is the reference for the
@@ -395,73 +410,123 @@ impl PerformanceModel {
     ///
     /// # Errors
     ///
-    /// Returns [`PimError`](crate::PimError) for a zero batch size and
-    /// propagates single-request evaluation errors.
+    /// Returns [`PimError::EmptyBatch`](crate::PimError::EmptyBatch) for a
+    /// zero batch size and propagates single-request evaluation errors.
     pub fn evaluate_batched(
         &self,
         point: &EvaluationPoint,
         batch_size: usize,
     ) -> Result<BatchPerfSummary> {
         if batch_size == 0 {
-            return Err(crate::PimError::InvalidConfig(
-                "batch size must be at least 1".to_string(),
-            ));
+            return Err(crate::PimError::EmptyBatch);
         }
         let single = self.evaluate(point)?;
-        let layers = point.model.num_layers.max(1) as f64;
-        let n = point.seq_len.max(1) as f64;
-        let b = batch_size as f64;
-        let first_request_ns = single.latency.total_ns();
-        // The initiation interval is the per-request *occupancy* of one layer
-        // stage, not latency/L: within a request the L stages already overlap
-        // token by token, so `evaluate()` reports each component as one
-        // layer's stage time scaled by the fill/drain factor 1 + (L-1)/N.
-        // Undoing that factor (and splitting interconnect, which `evaluate`
-        // accounts per layer) recovers the time a request keeps one stage
-        // busy — the earliest the next request can enter it. Batching thus
-        // amortizes exactly the fill/drain overhead: a large win for short
-        // sequences (N ≲ L, e.g. decode), modest for long prefill.
-        let pipeline_factor = 1.0 + (layers - 1.0) / n;
-        let initiation_interval_ns =
-            (single.latency.analog_ns + single.latency.digital_ns + single.latency.sfu_ns)
-                / pipeline_factor
-                + single.latency.interconnect_ns / layers;
-        let makespan_ns = first_request_ns + (b - 1.0) * initiation_interval_ns;
-        let mean_queueing_ns = (b - 1.0) / 2.0 * initiation_interval_ns;
-        let mut latency = single.latency;
-        latency.queueing_ns = mean_queueing_ns;
-        // Each request occupies each of the L stages for one interval, so the
-        // busy fraction of the stage-time available during the makespan is:
-        let pipeline_utilization = if makespan_ns > 0.0 {
-            (b * initiation_interval_ns / makespan_ns).min(1.0)
-        } else {
-            0.0
-        };
-        let makespan_s = makespan_ns * 1e-9;
-        let requests_per_s = if makespan_s > 0.0 {
-            b / makespan_s
-        } else {
-            0.0
-        };
-        let throughput_tops = if makespan_s > 0.0 {
-            single.total_ops as f64 * b / makespan_s / 1e12
-        } else {
-            0.0
-        };
-        let energy_per_request_pj = single.energy.total_pj();
-        Ok(BatchPerfSummary {
-            batch_size,
-            first_request_ns,
-            initiation_interval_ns,
-            makespan_ns,
-            latency,
-            pipeline_utilization,
-            requests_per_s,
-            throughput_tops,
-            energy_per_request_pj,
-            single,
-        })
+        pipelined_batch(single, point.model.num_layers, point.seq_len, batch_size)
     }
+}
+
+/// Builds a [`BatchPerfSummary`] for `batch_size` requests pipelined through
+/// an `num_layers`-stage layer pipeline, given the single-request evaluation.
+///
+/// This is the arithmetic behind [`PerformanceModel::evaluate_batched`],
+/// exposed so layer-pipelined backends (HyFlexPIM, ASADI) share one batching
+/// model: the initiation interval is the per-request *occupancy* of one layer
+/// stage, not latency/L — within a request the L stages already overlap token
+/// by token, so the single-request latency reports each component as one
+/// layer's stage time scaled by the fill/drain factor `1 + (L-1)/N`. Undoing
+/// that factor (and splitting interconnect, which is accounted per layer)
+/// recovers the time a request keeps one stage busy — the earliest the next
+/// request can enter it. Batching thus amortizes exactly the fill/drain
+/// overhead: a large win for short sequences (N ≲ L, e.g. decode), modest for
+/// long prefill.
+///
+/// # Errors
+///
+/// Returns [`PimError::EmptyBatch`](crate::PimError::EmptyBatch) for a zero
+/// batch size.
+pub fn pipelined_batch(
+    single: PerfSummary,
+    num_layers: usize,
+    seq_len: usize,
+    batch_size: usize,
+) -> Result<BatchPerfSummary> {
+    if batch_size == 0 {
+        return Err(crate::PimError::EmptyBatch);
+    }
+    let layers = num_layers.max(1) as f64;
+    let n = seq_len.max(1) as f64;
+    let pipeline_factor = 1.0 + (layers - 1.0) / n;
+    let initiation_interval_ns =
+        (single.latency.analog_ns + single.latency.digital_ns + single.latency.sfu_ns)
+            / pipeline_factor
+            + single.latency.interconnect_ns / layers;
+    batch_summary_from_interval(single, initiation_interval_ns, batch_size)
+}
+
+/// Builds a [`BatchPerfSummary`] from a single-request evaluation and an
+/// explicit initiation interval (time between consecutive request
+/// completions at steady state). Backends whose batching behavior is not a
+/// layer pipeline — bandwidth-bound designs that amortize weight streaming
+/// across a batch, or serial devices whose interval equals the full request
+/// latency — use this directly. `first_request_ns` is always the
+/// single-request latency, so a batch of one is bit-identical to the
+/// single-request evaluation.
+///
+/// # Errors
+///
+/// Returns [`PimError::EmptyBatch`](crate::PimError::EmptyBatch) for a zero
+/// batch size and [`PimError::InvalidConfig`](crate::PimError::InvalidConfig)
+/// for a non-finite or negative interval.
+pub fn batch_summary_from_interval(
+    single: PerfSummary,
+    initiation_interval_ns: f64,
+    batch_size: usize,
+) -> Result<BatchPerfSummary> {
+    if batch_size == 0 {
+        return Err(crate::PimError::EmptyBatch);
+    }
+    if !initiation_interval_ns.is_finite() || initiation_interval_ns < 0.0 {
+        return Err(crate::PimError::InvalidConfig(format!(
+            "initiation interval {initiation_interval_ns} ns must be finite and non-negative"
+        )));
+    }
+    let b = batch_size as f64;
+    let first_request_ns = single.latency.total_ns();
+    let makespan_ns = first_request_ns + (b - 1.0) * initiation_interval_ns;
+    let mean_queueing_ns = (b - 1.0) / 2.0 * initiation_interval_ns;
+    let mut latency = single.latency;
+    latency.queueing_ns = mean_queueing_ns;
+    // Each request occupies each pipeline stage for one interval, so the
+    // busy fraction of the stage-time available during the makespan is:
+    let pipeline_utilization = if makespan_ns > 0.0 {
+        (b * initiation_interval_ns / makespan_ns).min(1.0)
+    } else {
+        0.0
+    };
+    let makespan_s = makespan_ns * 1e-9;
+    let requests_per_s = if makespan_s > 0.0 {
+        b / makespan_s
+    } else {
+        0.0
+    };
+    let throughput_tops = if makespan_s > 0.0 {
+        single.total_ops as f64 * b / makespan_s / 1e12
+    } else {
+        0.0
+    };
+    let energy_per_request_pj = single.energy.total_pj();
+    Ok(BatchPerfSummary {
+        batch_size,
+        first_request_ns,
+        initiation_interval_ns,
+        makespan_ns,
+        latency,
+        pipeline_utilization,
+        requests_per_s,
+        throughput_tops,
+        energy_per_request_pj,
+        single,
+    })
 }
 
 #[cfg(test)]
@@ -517,7 +582,7 @@ mod tests {
         assert!(hybrid.tops_per_mm2 >= slc_only.tops_per_mm2);
         let speedup = hybrid.tops_per_mm2 / slc_only.tops_per_mm2;
         assert!(
-            speedup >= 1.0 && speedup < 2.5,
+            (1.0..2.5).contains(&speedup),
             "speedup {speedup:.2} out of expected band"
         );
     }
@@ -628,7 +693,7 @@ mod tests {
         // Completion times are spaced by the initiation interval.
         let spacing = b16.completion_ns(5) - b16.completion_ns(4);
         assert!((spacing - b16.initiation_interval_ns).abs() < 1e-9);
-        assert_eq!(model.evaluate_batched(&p, 0).is_err(), true);
+        assert!(model.evaluate_batched(&p, 0).is_err());
     }
 
     #[test]

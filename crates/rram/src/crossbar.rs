@@ -158,8 +158,9 @@ impl CrossbarArray {
             if !active {
                 continue;
             }
-            for c in 0..self.spec.cols {
-                currents[c] += self.cells[r * self.spec.cols + c].current(READ_VOLTAGE_V);
+            let row_cells = &self.cells[r * self.spec.cols..(r + 1) * self.spec.cols];
+            for (current, cell) in currents.iter_mut().zip(row_cells) {
+                *current += cell.current(READ_VOLTAGE_V);
             }
         }
         Ok(currents)
@@ -225,16 +226,14 @@ mod tests {
         xbar.program_levels(&levels, &mut rng).unwrap();
         let active: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
         let sums = xbar.column_level_sums(&active).unwrap();
-        for c in 0..4 {
+        for (c, &sum) in sums.iter().enumerate() {
             let expected: f64 = (0..8)
                 .filter(|r| active[*r])
                 .map(|r| levels.at(r, c) as f64)
                 .sum();
             assert!(
-                (sums[c] - expected).abs() < 1e-6,
-                "column {c}: {} vs {}",
-                sums[c],
-                expected
+                (sum - expected).abs() < 1e-6,
+                "column {c}: {sum} vs {expected}"
             );
         }
     }
@@ -252,9 +251,9 @@ mod tests {
         xbar.program_levels(&levels, &mut rng).unwrap();
         let active = vec![true; 64];
         let sums = xbar.column_level_sums(&active).unwrap();
-        for c in 0..16 {
+        for (c, &sum) in sums.iter().enumerate() {
             let expected: f64 = (0..64).map(|r| levels.at(r, c) as f64).sum();
-            let deviation = (sums[c] - expected).abs() / expected.max(1.0);
+            let deviation = (sum - expected).abs() / expected.max(1.0);
             assert!(deviation < 0.2, "column {c} deviates by {deviation}");
         }
     }

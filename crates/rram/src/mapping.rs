@@ -175,9 +175,9 @@ impl MappedMatrix {
 
         let offset = 1i64 << (mapping.weight_bits - 1);
         let mut unsigned_col_sums = vec![0.0f64; quantized.cols()];
-        for c in 0..quantized.cols() {
+        for (c, col_sum) in unsigned_col_sums.iter_mut().enumerate() {
             for r in 0..quantized.rows() {
-                unsigned_col_sums[c] += (i64::from(quantized.value(r, c)) + offset) as f64;
+                *col_sum += (i64::from(quantized.value(r, c)) + offset) as f64;
             }
         }
 
@@ -259,14 +259,14 @@ impl MappedMatrix {
                     continue;
                 }
                 for (k, digit_plane) in self.digits.iter().enumerate() {
-                    for c in 0..self.cols {
+                    for (c, acc) in unsigned_acc.iter_mut().enumerate() {
                         let mut analog_sum = 0.0f64;
                         for &r in &active {
                             analog_sum += digit_plane.at(r, c) as f64;
                         }
                         let digitized = self.digitize(analog_sum, levels);
                         let shift = input_bit + (k as u32) * bits_per_cell;
-                        unsigned_acc[c] += digitized * (1u64 << shift) as f64;
+                        *acc += digitized * (1u64 << shift) as f64;
                     }
                 }
             }
@@ -318,8 +318,8 @@ impl MappedMatrix {
         let mut out = vec![0.0f32; weights.cols()];
         for (c, out_val) in out.iter_mut().enumerate() {
             let mut acc = 0i64;
-            for r in 0..weights.rows() {
-                acc += i64::from(q_input[r]) * i64::from(quantized.value(r, c));
+            for (r, &q) in q_input.iter().enumerate() {
+                acc += i64::from(q) * i64::from(quantized.value(r, c));
             }
             *out_val = acc as f32 * quantized.scale() * input_scale;
         }

@@ -1,31 +1,27 @@
-//! Batched-inference scheduling onto the chip's PIM tiles.
+//! Batched-inference scheduling onto a backend's layer tiles.
 //!
-//! Static weights stay resident in the analog crossbar banks, so a batch of
-//! requests shares one weight read-out schedule; what each extra request
-//! consumes is **digital PIM capacity** — the per-layer dynamic data (Q, K,
-//! V, attention scores, FFN intermediate) must all be resident in the layer's
-//! digital arrays while the batch is in flight. [`BatchScheduler`] therefore
-//! admits requests FCFS into a batch until either the configured batch-size
-//! cap or the digital-cell capacity of the layer tile would be exceeded.
+//! Static weights stay resident in the device (for HyFlexPIM, the analog
+//! crossbar banks), so a batch of requests shares one weight read-out
+//! schedule; what each extra request consumes is **tile capacity** — the
+//! per-layer dynamic data (Q, K, V, attention scores, FFN intermediate) must
+//! all be resident in the layer's buffers while the batch is in flight.
+//! [`BatchScheduler`] therefore admits requests FCFS into a batch until
+//! either the configured batch-size cap or the backend's cell capacity would
+//! be exceeded. The scheduler is generic over the device: any
+//! [`Backend`] supplies its per-tile budget ([`Backend::capacity`]) and the
+//! per-request footprint ([`Backend::request_cells`]).
 
 use crate::error::RuntimeError;
 use crate::Result;
-use hyflex_pim::arch::Chip;
+use hyflex_pim::backend::{Backend, HyFlexPim};
+use hyflex_pim::perf::PerformanceModel;
 use hyflex_pim::HyFlexPimConfig;
 use hyflex_transformer::ModelConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-/// One inference request submitted to the runtime.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct InferenceRequest {
-    /// Caller-assigned identifier.
-    pub id: u64,
-    /// Arrival time in nanoseconds since simulation start.
-    pub arrival_ns: f64,
-    /// Sequence length of the request.
-    pub seq_len: usize,
-}
+pub use hyflex_pim::backend::InferenceRequest;
 
 /// Batching policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,7 +32,7 @@ pub struct SchedulerConfig {
     /// launching, nanoseconds.
     pub max_wait_ns: f64,
     /// Processing units provisioned per layer pipeline stage; scales the
-    /// digital-cell tile capacity available to one batch.
+    /// tile capacity available to one batch.
     pub pus_per_layer: usize,
 }
 
@@ -55,8 +51,8 @@ impl Default for SchedulerConfig {
 pub struct Batch {
     /// Admitted requests in FCFS order.
     pub requests: Vec<InferenceRequest>,
-    /// Digital PIM cells the batch occupies in one layer tile, with every
-    /// request padded to the batch's longest sequence (the executed shape).
+    /// Tile cells the batch occupies in one layer tile, with every request
+    /// padded to the batch's longest sequence (the executed shape).
     pub cells_used: usize,
     /// Longest sequence in the batch (the execution shape).
     pub max_seq_len: usize,
@@ -74,24 +70,38 @@ impl Batch {
     }
 }
 
-/// FCFS batch former bounded by batch size and tile capacity.
+/// FCFS batch former bounded by batch size and the backend's tile capacity.
 #[derive(Debug, Clone)]
 pub struct BatchScheduler {
     config: SchedulerConfig,
-    model: ModelConfig,
-    chip: Chip,
+    backend: Arc<dyn Backend>,
     capacity_cells: usize,
     queue: VecDeque<InferenceRequest>,
 }
 
 impl BatchScheduler {
-    /// Builds a scheduler for `model` served on `hw`.
+    /// Builds a scheduler for `model` served on the HyFlexPIM hardware `hw`
+    /// (the historical constructor, kept as sugar over
+    /// [`BatchScheduler::for_backend`]).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] for a zero batch size or zero
     /// PUs per layer, and propagates hardware-configuration errors.
     pub fn new(hw: HyFlexPimConfig, model: ModelConfig, config: SchedulerConfig) -> Result<Self> {
+        // Capacity accounting is independent of the SLC rate; bind at 0.
+        let backend = HyFlexPim::new(PerformanceModel::new(hw)?, model, 0.0)?;
+        BatchScheduler::for_backend(Arc::new(backend), config)
+    }
+
+    /// Builds a scheduler admitting requests against `backend`'s tile
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for a zero batch size, zero
+    /// PUs per layer, or a negative/NaN batching window.
+    pub fn for_backend(backend: Arc<dyn Backend>, config: SchedulerConfig) -> Result<Self> {
         if config.max_batch_size == 0 {
             return Err(RuntimeError::InvalidConfig(
                 "max_batch_size must be at least 1".to_string(),
@@ -108,12 +118,10 @@ impl BatchScheduler {
                 config.max_wait_ns
             )));
         }
-        let chip = Chip::new(hw)?;
-        let capacity_cells = config.pus_per_layer * chip.config().digital_cells_per_pu();
+        let capacity_cells = config.pus_per_layer * backend.capacity();
         Ok(BatchScheduler {
             config,
-            model,
-            chip,
+            backend,
             capacity_cells,
             queue: VecDeque::new(),
         })
@@ -124,14 +132,14 @@ impl BatchScheduler {
         &self.config
     }
 
-    /// Digital-cell capacity of one layer tile (the per-batch budget).
+    /// Tile-cell capacity of one layer tile (the per-batch budget).
     pub fn capacity_cells(&self) -> usize {
         self.capacity_cells
     }
 
-    /// Digital cells one request of length `seq_len` occupies per layer tile.
+    /// Tile cells one request of length `seq_len` occupies per layer tile.
     pub fn request_cells(&self, seq_len: usize) -> usize {
-        self.chip.digital_cells_for_layer(&self.model, seq_len)
+        self.backend.request_cells(seq_len)
     }
 
     /// Number of queued requests.
@@ -163,7 +171,7 @@ impl BatchScheduler {
         let cells = self.request_cells(request.seq_len);
         if cells > self.capacity_cells {
             return Err(RuntimeError::CapacityExceeded(format!(
-                "request {} needs {cells} digital cells but the layer tile has {} \
+                "request {} needs {cells} tile cells but the layer tile has {} \
                  (raise pus_per_layer or shorten the sequence)",
                 request.id, self.capacity_cells
             )));
@@ -210,6 +218,7 @@ impl BatchScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hyflex_baselines::{AcceleratorBackend, NonPim};
 
     fn scheduler(max_batch_size: usize, pus_per_layer: usize) -> BatchScheduler {
         BatchScheduler::new(
@@ -253,6 +262,38 @@ mod tests {
             assert!(BatchScheduler::new(hw, model.clone(), bad).is_err());
         }
         assert!(BatchScheduler::new(hw, model, SchedulerConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn legacy_constructor_matches_the_backend_capacity_contract() {
+        // The (hw, model) constructor must charge exactly the digital-cell
+        // budget the pre-refactor scheduler used.
+        let hw = HyFlexPimConfig::paper_default();
+        let s = scheduler(4, 2);
+        assert_eq!(s.capacity_cells(), 2 * hw.digital_cells_per_pu());
+        let chip = hyflex_pim::arch::Chip::new(hw).unwrap();
+        assert_eq!(
+            s.request_cells(512),
+            chip.digital_cells_for_layer(&ModelConfig::bert_large(), 512)
+        );
+    }
+
+    #[test]
+    fn generic_scheduler_admits_against_the_backend_budget() {
+        let backend = Arc::new(AcceleratorBackend::new(
+            NonPim::new(),
+            ModelConfig::bert_large(),
+        ));
+        let capacity = backend.capacity();
+        let mut s = BatchScheduler::for_backend(backend, SchedulerConfig::default()).unwrap();
+        assert_eq!(s.capacity_cells(), capacity);
+        for id in 0..20 {
+            s.submit(request(id, 128)).unwrap();
+        }
+        while let Some(batch) = s.next_batch() {
+            assert!(batch.cells_used <= s.capacity_cells());
+            assert!(batch.len() <= 16);
+        }
     }
 
     #[test]

@@ -12,12 +12,19 @@
 //!   `PerformanceModel` sweeps, bit-identical to the serial entry points in
 //!   `hyflex-pim`.
 //! * [`batch`] — [`BatchScheduler`](batch::BatchScheduler): FCFS batching of
-//!   [`InferenceRequest`](batch::InferenceRequest)s bounded by the digital
-//!   PIM tile capacity of the layer pipeline.
+//!   [`InferenceRequest`](batch::InferenceRequest)s bounded by the tile
+//!   capacity the serving backend reports.
 //! * [`serving`] — [`ServingSim`](serving::ServingSim): a closed-loop
 //!   serving simulator with Poisson arrivals that reports throughput,
 //!   utilization, and p50/p95/p99 latency (see `examples/serving_sim.rs`
 //!   and the `fig18_batch_throughput` binary).
+//!
+//! The whole execution layer is **backend-generic**: the scheduler, the
+//! serving simulator, and [`par_backend_eval`](sweep::par_backend_eval)
+//! consume any `hyflex_pim::Backend` ([`HyFlexPim`] or the baselines from
+//! `hyflex-baselines`), so one workload drives interchangeable device models
+//! (`fig19_backend_serving`). The HyFlexPIM path stays bit-identical to the
+//! pre-generic implementation (CI-enforced determinism suite).
 
 pub mod batch;
 pub mod error;
@@ -27,9 +34,10 @@ pub mod sweep;
 
 pub use batch::{Batch, BatchScheduler, InferenceRequest, SchedulerConfig};
 pub use error::RuntimeError;
+pub use hyflex_pim::backend::{Backend, HyFlexPim};
 pub use pool::{JobPool, PoolScope};
 pub use serving::{LatencySummary, ServingConfig, ServingReport, ServingSim};
-pub use sweep::{par_noise_sweep, par_perf_eval};
+pub use sweep::{par_backend_eval, par_noise_sweep, par_perf_eval};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,25 +1,34 @@
 //! Closed-loop serving simulation: Poisson arrivals → batch scheduler →
 //! batch-aware device model → latency percentiles and throughput.
 //!
-//! [`ServingSim`] drives the analytical device model
-//! (`PerformanceModel::evaluate_batched`) with a synthetic open-loop arrival
-//! process at a configurable offered QPS. Requests queue in a
-//! [`BatchScheduler`]; whenever the device is free the scheduler forms the
-//! next FCFS batch (waiting up to the batching window for a non-full batch),
-//! the batch occupies the device for its modeled makespan, and every request
-//! completes at its pipelined completion offset. The run is fully
-//! deterministic for a given seed.
+//! [`ServingSim`] drives any device implementing `hyflex_pim::Backend` with
+//! a synthetic open-loop arrival process at a configurable offered QPS.
+//! Requests queue in a [`BatchScheduler`]; whenever the device is free the
+//! scheduler forms the next FCFS batch (waiting up to the batching window
+//! for a non-full batch), the batch occupies the device for its modeled
+//! makespan, and every request completes at its pipelined completion offset.
+//! The run is fully deterministic for a given seed.
+//!
+//! The simulator is generic — `ServingSim<B: Backend>` — so the paper's
+//! baselines (ASADI, SPRINT, NMP, non-PIM) flow through the same serving
+//! machinery as HyFlexPIM itself (see the `fig19_backend_serving` binary).
+//! The historical HyFlexPIM-only constructor [`ServingSim::new`] remains and
+//! produces bit-identical reports to the pre-refactor implementation.
 
-use crate::batch::{BatchScheduler, InferenceRequest, SchedulerConfig};
+use crate::batch::{BatchScheduler, InferenceRequest};
 use crate::error::RuntimeError;
 use crate::Result;
-use hyflex_pim::perf::{BatchPerfSummary, EvaluationPoint};
+use hyflex_pim::backend::{Backend, HyFlexPim};
+use hyflex_pim::perf::BatchPerfSummary;
 use hyflex_pim::PerformanceModel;
 use hyflex_tensor::rng::Rng;
 use hyflex_transformer::ModelConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use crate::batch::SchedulerConfig;
 
 /// Workload and policy of one serving run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,7 +39,10 @@ pub struct ServingConfig {
     pub num_requests: usize,
     /// Sequence length of every request.
     pub seq_len: usize,
-    /// SLC protection rate of the deployed mapping.
+    /// SLC protection rate of the deployed mapping. Consumed by the
+    /// HyFlexPIM constructor ([`ServingSim::new`]); backends passed to
+    /// [`ServingSim::with_backend`] already carry their mapping and ignore
+    /// this field.
     pub slc_rank_fraction: f64,
     /// Seed of the arrival process.
     pub seed: u64,
@@ -89,22 +101,54 @@ pub struct ServingReport {
     pub mean_queue_ms: f64,
 }
 
-/// The closed-loop serving simulator.
-#[derive(Debug, Clone)]
-pub struct ServingSim {
-    perf: PerformanceModel,
-    model: ModelConfig,
+/// The closed-loop serving simulator, generic over the device model.
+pub struct ServingSim<B: Backend = HyFlexPim> {
+    backend: Arc<B>,
     config: ServingConfig,
 }
 
-impl ServingSim {
-    /// Builds a simulator serving `model` on the hardware behind `perf`.
+impl<B: Backend> Clone for ServingSim<B> {
+    fn clone(&self) -> Self {
+        ServingSim {
+            backend: Arc::clone(&self.backend),
+            config: self.config.clone(),
+        }
+    }
+}
+
+impl<B: Backend> std::fmt::Debug for ServingSim<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingSim")
+            .field("backend", &self.backend.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ServingSim<HyFlexPim> {
+    /// Builds a simulator serving `model` on the HyFlexPIM hardware behind
+    /// `perf` at `config.slc_rank_fraction` (the historical constructor;
+    /// sugar over [`ServingSim::with_backend`]).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::InvalidConfig`] for non-positive load or an
     /// empty run, and propagates scheduler-configuration errors.
     pub fn new(perf: PerformanceModel, model: ModelConfig, config: ServingConfig) -> Result<Self> {
+        let backend = HyFlexPim::new(perf, model, config.slc_rank_fraction)?;
+        ServingSim::with_backend(backend, config)
+    }
+}
+
+impl<B: Backend + 'static> ServingSim<B> {
+    /// Builds a simulator serving requests on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for non-positive load or an
+    /// empty run, and propagates scheduler-configuration errors (including a
+    /// request shape that does not fit the backend's tile capacity).
+    pub fn with_backend(backend: B, config: ServingConfig) -> Result<Self> {
         if config.qps.is_nan() || config.qps <= 0.0 {
             return Err(RuntimeError::InvalidConfig(format!(
                 "qps {} must be positive",
@@ -116,18 +160,18 @@ impl ServingSim {
                 "num_requests must be at least 1".to_string(),
             ));
         }
+        let backend = Arc::new(backend);
         // Validate the scheduler policy and tile fit up front.
-        let mut probe = BatchScheduler::new(*perf.hw(), model.clone(), config.scheduler)?;
+        let mut probe = BatchScheduler::for_backend(
+            Arc::clone(&backend) as Arc<dyn Backend>,
+            config.scheduler,
+        )?;
         probe.submit(InferenceRequest {
             id: 0,
             arrival_ns: 0.0,
             seq_len: config.seq_len,
         })?;
-        Ok(ServingSim {
-            perf,
-            model,
-            config,
-        })
+        Ok(ServingSim { backend, config })
     }
 
     /// The run configuration.
@@ -135,11 +179,16 @@ impl ServingSim {
         &self.config
     }
 
+    /// The device model being served.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors
     ///
-    /// Propagates scheduler and performance-model errors.
+    /// Propagates scheduler and device-model errors.
     pub fn run(&self) -> Result<ServingReport> {
         let cfg = &self.config;
         let mut rng = Rng::seed_from(cfg.seed);
@@ -155,8 +204,10 @@ impl ServingSim {
             });
         }
 
-        let mut scheduler =
-            BatchScheduler::new(*self.perf.hw(), self.model.clone(), cfg.scheduler)?;
+        let mut scheduler = BatchScheduler::for_backend(
+            Arc::clone(&self.backend) as Arc<dyn Backend>,
+            cfg.scheduler,
+        )?;
         // Every request in a run shares one sequence length, so the largest
         // batch the tile can actually execute is known up front; the batching
         // window must not wait for arrivals that could never join the batch.
@@ -213,14 +264,10 @@ impl ServingSim {
             let key = (batch.max_seq_len, batch.len());
             let summary = match shape_cache.entry(key) {
                 Entry::Occupied(entry) => entry.into_mut(),
-                Entry::Vacant(entry) => {
-                    let point = EvaluationPoint {
-                        model: self.model.clone(),
-                        seq_len: batch.max_seq_len,
-                        slc_rank_fraction: cfg.slc_rank_fraction,
-                    };
-                    entry.insert(self.perf.evaluate_batched(&point, batch.len())?)
-                }
+                Entry::Vacant(entry) => entry.insert(
+                    self.backend
+                        .evaluate_batched(batch.max_seq_len, batch.len())?,
+                ),
             };
             let start = launch.max(device_free);
             for (k, request) in batch.requests.iter().enumerate() {
@@ -283,6 +330,7 @@ fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hyflex_baselines::{AcceleratorBackend, NonPim, Sprint};
 
     fn sim(qps: f64, max_batch_size: usize, num_requests: usize) -> ServingSim {
         ServingSim::new(
@@ -338,6 +386,66 @@ mod tests {
         let a = sim(800.0, 8, 300).run().unwrap();
         let b = sim(800.0, 8, 300).run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generic_path_is_bit_identical_to_the_legacy_constructor() {
+        // The HyFlexPIM-only constructor and the backend-generic one must
+        // produce byte-for-byte the same report.
+        let config = ServingConfig {
+            qps: 900.0,
+            num_requests: 250,
+            ..ServingConfig::default()
+        };
+        let legacy = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            config.clone(),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        let backend = HyFlexPim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            config.slc_rank_fraction,
+        )
+        .unwrap();
+        let generic = ServingSim::with_backend(backend, config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(legacy, generic);
+    }
+
+    #[test]
+    fn baseline_backends_serve_through_the_same_machinery() {
+        let config = ServingConfig {
+            qps: 200.0,
+            num_requests: 120,
+            ..ServingConfig::default()
+        };
+        for report in [
+            ServingSim::with_backend(
+                AcceleratorBackend::new(Sprint::new(), ModelConfig::bert_base()),
+                config.clone(),
+            )
+            .unwrap()
+            .run()
+            .unwrap(),
+            ServingSim::with_backend(
+                AcceleratorBackend::new(NonPim::new(), ModelConfig::bert_base()),
+                config.clone(),
+            )
+            .unwrap()
+            .run()
+            .unwrap(),
+        ] {
+            assert_eq!(report.completed, 120);
+            assert!(report.latency.p50_ms > 0.0);
+            assert!(report.latency.p50_ms <= report.latency.p99_ms);
+            assert!(report.device_utilization > 0.0 && report.device_utilization <= 1.0);
+        }
     }
 
     #[test]

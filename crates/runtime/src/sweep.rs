@@ -10,6 +10,7 @@
 //! this crate and CI (with `RUST_TEST_THREADS` 1 and default) enforce.
 
 use crate::pool::JobPool;
+use hyflex_pim::backend::{Backend, InferenceRequest};
 use hyflex_pim::gradient_redistribution::LayerGradientProfile;
 use hyflex_pim::noise_sim::{HybridMappingSpec, SweepOutcome, SweepPoint};
 use hyflex_pim::perf::{EvaluationPoint, PerfSummary};
@@ -56,6 +57,27 @@ pub fn par_perf_eval(
     points: &[EvaluationPoint],
 ) -> hyflex_pim::Result<Vec<PerfSummary>> {
     pool.par_map(points, |point| model.evaluate(point))
+        .into_iter()
+        .collect()
+}
+
+/// Evaluates requests against any [`Backend`] in parallel over `pool` — the
+/// backend-generic successor of [`par_perf_eval`].
+///
+/// Results are returned in `requests` order and are bit-identical to calling
+/// [`Backend::evaluate`] serially (for the HyFlexPIM backend, to
+/// [`PerformanceModel::evaluate_many`] on the equivalent points — the
+/// determinism suite enforces this).
+///
+/// # Errors
+///
+/// Propagates the first failing request's error.
+pub fn par_backend_eval<B: Backend>(
+    pool: &JobPool,
+    backend: &B,
+    requests: &[InferenceRequest],
+) -> hyflex_pim::Result<Vec<PerfSummary>> {
+    pool.par_map(requests, |request| backend.evaluate(request))
         .into_iter()
         .collect()
 }

@@ -69,6 +69,72 @@ fn determinism_parallel_noise_sweep_is_bit_identical_to_serial() {
     assert_eq!(serial, parallel);
 }
 
+#[test]
+fn determinism_generic_backend_eval_is_bit_identical_to_the_perf_model() {
+    // The backend-generic parallel driver must reproduce the serial
+    // HyFlexPIM reference bit for bit, for any worker count.
+    use hyflex_pim::backend::HyFlexPim;
+    use hyflex_pim::perf::EvaluationPoint;
+    use hyflex_pim::{InferenceRequest, PerformanceModel};
+    use hyflex_runtime::par_backend_eval;
+
+    let slc = 0.07;
+    let backend = HyFlexPim::paper(ModelConfig::bert_large(), slc).unwrap();
+    let perf = PerformanceModel::paper_default();
+    let requests: Vec<InferenceRequest> = [64usize, 128, 256, 512, 1024, 2048]
+        .iter()
+        .enumerate()
+        .map(|(id, &seq_len)| InferenceRequest::of_len(id as u64, seq_len))
+        .collect();
+    let points: Vec<EvaluationPoint> = requests
+        .iter()
+        .map(|r| EvaluationPoint {
+            model: ModelConfig::bert_large(),
+            seq_len: r.seq_len,
+            slc_rank_fraction: slc,
+        })
+        .collect();
+    let serial = perf.evaluate_many(&points).unwrap();
+    for workers in [1, 2, 4, 7] {
+        let pool = JobPool::new(workers);
+        let parallel = par_backend_eval(&pool, &backend, &requests).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "generic backend eval with {workers} workers diverged from the perf model"
+        );
+    }
+}
+
+#[test]
+fn determinism_generic_serving_is_bit_identical_to_the_legacy_path() {
+    use hyflex_pim::backend::HyFlexPim;
+    use hyflex_pim::PerformanceModel;
+    use hyflex_runtime::{ServingConfig, ServingSim};
+
+    let config = ServingConfig {
+        qps: 1500.0,
+        num_requests: 300,
+        seq_len: 128,
+        slc_rank_fraction: 0.05,
+        seed: 42,
+        ..ServingConfig::default()
+    };
+    let legacy = ServingSim::new(
+        PerformanceModel::paper_default(),
+        ModelConfig::bert_large(),
+        config.clone(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let backend = HyFlexPim::paper(ModelConfig::bert_large(), config.slc_rank_fraction).unwrap();
+    let generic = ServingSim::with_backend(backend, config)
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(legacy, generic);
+}
+
 proptest! {
     #[test]
     fn determinism_par_map_equals_serial_map(

@@ -23,13 +23,13 @@ pub fn relu_derivative(x: f32) -> f32 {
 
 /// Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2).
 pub fn gelu(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
 }
 
 /// Derivative of [`gelu`] (tanh approximation).
 pub fn gelu_derivative(x: f32) -> f32 {
-    const SQRT_2_OVER_PI: f32 = 0.797_884_56;
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
     let x3 = x * x * x;
     let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x3);
     let tanh_inner = inner.tanh();

@@ -433,9 +433,9 @@ impl Matrix {
             });
         }
         let mut out = self.clone();
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias[c];
+        for row in out.data.chunks_mut(self.cols) {
+            for (value, b) in row.iter_mut().zip(bias) {
+                *value += b;
             }
         }
         Ok(out)

@@ -34,7 +34,7 @@ impl MultiHeadAttention {
     /// Returns [`ModelError::InvalidConfig`] if `dim` is not divisible by
     /// `num_heads`.
     pub fn new(dim: usize, num_heads: usize, rng: &mut Rng) -> Result<Self> {
-        if num_heads == 0 || dim % num_heads != 0 {
+        if num_heads == 0 || !dim.is_multiple_of(num_heads) {
             return Err(ModelError::InvalidConfig(format!(
                 "hidden dim {dim} must be divisible by {num_heads} heads"
             )));

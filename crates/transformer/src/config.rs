@@ -117,7 +117,7 @@ impl ModelConfig {
                 self.name
             )));
         }
-        if self.hidden_dim % self.num_heads != 0 {
+        if !self.hidden_dim.is_multiple_of(self.num_heads) {
             return Err(ModelError::InvalidConfig(format!(
                 "{}: hidden dim {} not divisible by {} heads",
                 self.name, self.hidden_dim, self.num_heads

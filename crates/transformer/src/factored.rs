@@ -57,8 +57,7 @@ impl FactoredLinear {
             rank.min(full_rank)
         };
         let truncated = decomposition.truncate(k)?;
-        let sigma_row =
-            Matrix::from_vec(1, k, truncated.singular_values.iter().copied().collect())?;
+        let sigma_row = Matrix::from_vec(1, k, truncated.singular_values.to_vec())?;
         Ok(FactoredLinear {
             u: Param::new(truncated.u),
             sigma: Param::new(sigma_row),
@@ -333,7 +332,7 @@ mod tests {
         let upstream = Matrix::random_normal(3, 5, 0.0, 1.0, &mut rng);
         f.backward(&x, &upstream).unwrap();
         let analytic: Vec<f32> = f.sigma.grad().row(0).to_vec();
-        for k in 0..f.rank() {
+        for (k, &analytic_k) in analytic.iter().enumerate() {
             let numeric = {
                 let mut plus = f.clone();
                 let v = plus.sigma.value().at(0, k) + 1e-3;
@@ -351,10 +350,8 @@ mod tests {
                 (loss_p - loss_m) / 2e-3
             };
             assert!(
-                (analytic[k] - numeric).abs() < 2e-2,
-                "sigma grad[{k}]: {} vs {}",
-                analytic[k],
-                numeric
+                (analytic_k - numeric).abs() < 2e-2,
+                "sigma grad[{k}]: {analytic_k} vs {numeric}"
             );
         }
         // The public accessor exposes the absolute values.

@@ -110,6 +110,10 @@ impl Linear {
 /// The gradient-redistribution pipeline converts selected `Dense` layers to
 /// `Factored` in place; every consumer (attention, FFN, model) goes through
 /// this enum so the swap is transparent.
+// The factored variant carries U, sigma, and V; boxing it would push every
+// forward/backward access through a pointer for no measurable win, so the
+// size imbalance is accepted.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AnyLinear {
     /// A standard dense layer.

@@ -49,9 +49,9 @@ fn loss_and_grad(task: &TaskKind, logits: &Matrix, target: &Target) -> Result<(f
             let probs = softmax(logits.row(0));
             let loss = -(probs[*label].max(1e-12) as f64).ln();
             let mut grad = Matrix::zeros(1, *num_classes);
-            for c in 0..*num_classes {
+            for (c, &p) in probs.iter().enumerate() {
                 let indicator = if c == *label { 1.0 } else { 0.0 };
-                grad.set(0, c, probs[c] - indicator);
+                grad.set(0, c, p - indicator);
             }
             Ok((loss, grad))
         }
@@ -80,9 +80,9 @@ fn loss_and_grad(task: &TaskKind, logits: &Matrix, target: &Target) -> Result<(f
                 }
                 let probs = softmax(logits.row(r));
                 total_loss += -(probs[tok].max(1e-12) as f64).ln();
-                for c in 0..vocab {
+                for (c, &p) in probs.iter().enumerate() {
                     let indicator = if c == tok { 1.0 } else { 0.0 };
-                    grad.set(r, c, (probs[c] - indicator) / next.len() as f32);
+                    grad.set(r, c, (p - indicator) / next.len() as f32);
                 }
             }
             Ok((total_loss / next.len() as f64, grad))

@@ -127,7 +127,7 @@ pub fn generate(task: GlueTask, config: &GlueConfig, seed: u64) -> Dataset {
     // The signal-token pool is `vocab_size / 4 - 1` values; two distinct
     // class tokens must exist or the rejection loop below cannot terminate.
     assert!(
-        config.vocab_size / 4 - 1 >= 2,
+        config.vocab_size / 4 > 2,
         "GlueConfig.vocab_size must be >= 12 so two distinct signal tokens exist, got {}",
         config.vocab_size
     );

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example decoder_generation_energy`
 
-use hyflex_baselines::all_accelerators;
+use hyflex_baselines::BackendRegistry;
 use hyflex_pim::gradient_redistribution::GradientRedistribution;
 use hyflex_pim::noise_sim::{HybridMappingSpec, NoiseSimulator};
 use hyflex_tensor::rng::Rng;
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Architecture part: GPT-2-scale decoding cost at N = 1024.
     println!("\nGPT-2 @ N=1024, end-to-end energy per inference (paper-scale dimensions):");
     let gpt2 = ModelConfig::gpt2_small();
-    for accelerator in all_accelerators(0.20) {
+    for accelerator in BackendRegistry::paper().accelerators(0.20) {
         let energy = accelerator.end_to_end_energy(&gpt2, 1024)?;
         println!(
             "  {:<22} {:>10.2} mJ",

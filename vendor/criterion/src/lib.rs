@@ -22,14 +22,9 @@ const BATCHES: usize = 7;
 const BATCH_TARGET: Duration = Duration::from_millis(40);
 
 /// Minimal benchmark driver with criterion's method names.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {
