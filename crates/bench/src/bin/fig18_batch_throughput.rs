@@ -13,7 +13,7 @@
 
 use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_pim::backend::Backend;
-use hyflex_runtime::{SchedulerConfig, ServingConfig, ServingSim};
+use hyflex_runtime::{ServingConfig, ServingSim};
 use hyflex_transformer::ModelConfig;
 
 const BATCH_SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -88,7 +88,7 @@ fn serving_sweep(args: &BinArgs, seed: u64, model: ModelConfig, seq_len: usize) 
             seq_len,
             slc_rank_fraction: SLC_RATE,
             seed,
-            scheduler: SchedulerConfig::default(),
+            ..ServingConfig::default()
         };
         let report = ServingSim::with_backend(std::sync::Arc::clone(&backend), config)
             .expect("serving sim")

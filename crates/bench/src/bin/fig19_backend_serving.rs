@@ -15,7 +15,7 @@
 use hyflex_baselines::{BackendRegistry, SystemBuilder};
 use hyflex_bench::{emitln, fmt, print_row, BinArgs};
 use hyflex_pim::backend::Backend;
-use hyflex_runtime::{SchedulerConfig, ServingConfig, ServingSim};
+use hyflex_runtime::{ServingConfig, ServingSim};
 use hyflex_transformer::ModelConfig;
 
 const SEQ_LEN: usize = 128;
@@ -100,7 +100,7 @@ fn main() {
                 seq_len: SEQ_LEN,
                 slc_rank_fraction: SLC_RATE,
                 seed,
-                scheduler: SchedulerConfig::default(),
+                ..ServingConfig::default()
             };
             let report = ServingSim::with_backend(std::sync::Arc::clone(backend), config)
                 .expect("serving sim")

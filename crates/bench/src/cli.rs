@@ -12,13 +12,18 @@
 //! * `--backend NAME` — which registered comparison backend to evaluate
 //!   (`hyflexpim`, `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim`);
 //!   binaries that only model HyFlexPIM (the accuracy sweeps) reject other
-//!   names with the registry's listing.
+//!   names with the registry's listing;
+//! * `--policy NAME` — batch-formation scheduling policy for serving
+//!   binaries (`fcfs`, `edf`, `priority`);
+//! * `--chips N` — cluster size for multi-chip serving binaries;
+//! * `--dispatch NAME` — cluster request routing (`round-robin`/`rr`,
+//!   `jsq`/`shortest-queue`).
 
 use crate::output;
 use hyflex_baselines::{BackendRegistry, SystemBuilder};
 use hyflex_pim::backend::Backend;
 use hyflex_rram::cell::CellMode;
-use hyflex_runtime::JobPool;
+use hyflex_runtime::{DispatchPolicy, JobPool, SchedulingPolicy};
 use hyflex_transformer::ModelConfig;
 use std::path::PathBuf;
 
@@ -35,6 +40,12 @@ pub struct BinArgs {
     pub threads: Option<usize>,
     /// `--backend NAME`: registered comparison backend.
     pub backend: Option<String>,
+    /// `--policy NAME`: batch-formation scheduling policy.
+    pub policy: Option<String>,
+    /// `--chips N`: cluster size for multi-chip serving.
+    pub chips: Option<usize>,
+    /// `--dispatch NAME`: cluster request-routing policy.
+    pub dispatch: Option<String>,
 }
 
 impl BinArgs {
@@ -60,7 +71,72 @@ impl BinArgs {
         parsed.out = value_of("--out").map(PathBuf::from);
         parsed.threads = value_of("--threads").and_then(|v| v.parse().ok());
         parsed.backend = value_of("--backend").cloned();
+        parsed.policy = value_of("--policy").cloned();
+        parsed.chips = value_of("--chips").and_then(|v| v.parse().ok());
+        parsed.dispatch = value_of("--dispatch").cloned();
         parsed
+    }
+
+    /// The `--policy` selection (or `default`), validated against the
+    /// policy names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyflex_pim::PimError::InvalidConfig`] naming the accepted
+    /// policies for an unknown name.
+    pub fn policy_or(&self, default: SchedulingPolicy) -> hyflex_pim::Result<SchedulingPolicy> {
+        match &self.policy {
+            None => Ok(default),
+            Some(name) => SchedulingPolicy::parse(name).ok_or_else(|| {
+                hyflex_pim::PimError::InvalidConfig(format!(
+                    "unknown --policy {name}; expected one of: fcfs, edf, priority"
+                ))
+            }),
+        }
+    }
+
+    /// Binary-facing variant of [`BinArgs::policy_or`]: prints the error
+    /// and exits with status 2 instead of returning it.
+    pub fn policy_or_exit(&self, default: SchedulingPolicy) -> SchedulingPolicy {
+        self.policy_or(default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The `--chips` selection (or `default`). Like the other numeric
+    /// flags (`--seed`, `--threads`, `--mlc-bits`), a zero or unparsable
+    /// value falls back to the default.
+    pub fn chips_or(&self, default: usize) -> usize {
+        self.chips.filter(|&c| c > 0).unwrap_or(default)
+    }
+
+    /// The `--dispatch` selection (or `default`), validated against the
+    /// dispatch-policy names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyflex_pim::PimError::InvalidConfig`] naming the accepted
+    /// policies for an unknown name.
+    pub fn dispatch_or(&self, default: DispatchPolicy) -> hyflex_pim::Result<DispatchPolicy> {
+        match &self.dispatch {
+            None => Ok(default),
+            Some(name) => DispatchPolicy::parse(name).ok_or_else(|| {
+                hyflex_pim::PimError::InvalidConfig(format!(
+                    "unknown --dispatch {name}; expected one of: round-robin (rr), \
+                     jsq (shortest-queue)"
+                ))
+            }),
+        }
+    }
+
+    /// Binary-facing variant of [`BinArgs::dispatch_or`]: prints the error
+    /// and exits with status 2 instead of returning it.
+    pub fn dispatch_or_exit(&self, default: DispatchPolicy) -> DispatchPolicy {
+        self.dispatch_or(default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
     }
 
     /// The `--backend` selection (or `default`), validated against the
@@ -234,6 +310,43 @@ mod tests {
         assert_eq!(args.mlc_mode(), CellMode::MLC2);
         let args = parse(&["--seed", "not-a-number"]);
         assert_eq!(args.seed_or(5), 5);
+    }
+
+    #[test]
+    fn serving_flags_parse_and_validate() {
+        let args = parse(&["--policy", "edf", "--chips", "4", "--dispatch", "jsq"]);
+        assert_eq!(
+            args.policy_or(SchedulingPolicy::Fcfs).unwrap(),
+            SchedulingPolicy::Edf
+        );
+        assert_eq!(args.chips_or(1), 4);
+        assert_eq!(
+            args.dispatch_or(DispatchPolicy::RoundRobin).unwrap(),
+            DispatchPolicy::JoinShortestQueue
+        );
+        // Defaults apply when absent; zero chips falls back to the default.
+        let args = parse(&["--chips", "0"]);
+        assert_eq!(
+            args.policy_or(SchedulingPolicy::Priority).unwrap(),
+            SchedulingPolicy::Priority
+        );
+        assert_eq!(args.chips_or(2), 2);
+        assert_eq!(
+            args.dispatch_or(DispatchPolicy::JoinShortestQueue).unwrap(),
+            DispatchPolicy::JoinShortestQueue
+        );
+        // Unknown names are errors that list the accepted values.
+        let args = parse(&["--policy", "lifo", "--dispatch", "random"]);
+        let err = args
+            .policy_or(SchedulingPolicy::Fcfs)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("lifo") && err.contains("edf"), "{err}");
+        let err = args
+            .dispatch_or(DispatchPolicy::RoundRobin)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("random") && err.contains("jsq"), "{err}");
     }
 
     #[test]

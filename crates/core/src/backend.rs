@@ -30,8 +30,17 @@ use serde::{Deserialize, Serialize};
 /// One inference request submitted to a backend or the runtime.
 ///
 /// (Moved here from `hyflex-runtime` so the device trait and the scheduler
-/// share one request type; the runtime re-exports it.)
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// share one request type; the runtime re-exports it.) The struct is plain
+/// scalars and `Copy`: the runtime's arrival loops pass requests by value.
+///
+/// Requests optionally carry serving metadata — an absolute completion
+/// [`deadline_ns`](InferenceRequest::deadline_ns) and a
+/// [`priority`](InferenceRequest::priority) class — consumed by the
+/// SLO-aware scheduling policies in `hyflex-runtime`. The back-compatible
+/// constructors ([`InferenceRequest::new`], [`InferenceRequest::of_len`])
+/// leave both at their neutral values (no deadline, priority 0), so callers
+/// that predate the fields never mention them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InferenceRequest {
     /// Caller-assigned identifier.
     pub id: u64,
@@ -39,17 +48,51 @@ pub struct InferenceRequest {
     pub arrival_ns: f64,
     /// Sequence length of the request.
     pub seq_len: usize,
+    /// Absolute completion deadline in nanoseconds since simulation start;
+    /// `f64::INFINITY` (the constructor default) means the request carries
+    /// no SLO and is excluded from attainment accounting.
+    pub deadline_ns: f64,
+    /// Priority class for the strict-priority scheduling policy; *lower* is
+    /// more urgent (0, the constructor default, is the most urgent class).
+    pub priority: u8,
 }
 
 impl InferenceRequest {
+    /// A request of length `seq_len` arriving at `arrival_ns`, with no
+    /// deadline and the default priority class (the historical field set).
+    pub fn new(id: u64, arrival_ns: f64, seq_len: usize) -> Self {
+        InferenceRequest {
+            id,
+            arrival_ns,
+            seq_len,
+            deadline_ns: f64::INFINITY,
+            priority: 0,
+        }
+    }
+
     /// A request of the given length arriving at t = 0 (convenient for
     /// one-off evaluations where arrival time is irrelevant).
     pub fn of_len(id: u64, seq_len: usize) -> Self {
-        InferenceRequest {
-            id,
-            arrival_ns: 0.0,
-            seq_len,
-        }
+        InferenceRequest::new(id, 0.0, seq_len)
+    }
+
+    /// The same request with an absolute completion deadline attached.
+    #[must_use]
+    pub fn with_deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = deadline_ns;
+        self
+    }
+
+    /// The same request assigned to a priority class (lower = more urgent).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Whether the request carries a (finite) completion deadline.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline_ns.is_finite()
     }
 }
 
@@ -265,6 +308,24 @@ mod tests {
         );
         // Longer requests always cost more tile cells.
         assert!(backend.request_cells(512) > backend.request_cells(128));
+    }
+
+    #[test]
+    fn request_constructors_default_to_no_slo_and_top_priority() {
+        let plain = InferenceRequest::new(3, 42.0, 256);
+        assert_eq!(plain.id, 3);
+        assert_eq!(plain.arrival_ns, 42.0);
+        assert_eq!(plain.seq_len, 256);
+        assert!(!plain.has_deadline());
+        assert_eq!(plain.priority, 0);
+        assert_eq!(InferenceRequest::of_len(3, 256).seq_len, 256);
+        let tagged = plain.with_deadline_ns(1e6).with_priority(2);
+        assert!(tagged.has_deadline());
+        assert_eq!(tagged.deadline_ns, 1e6);
+        assert_eq!(tagged.priority, 2);
+        // Plain scalars: requests are passed by value in the hot loops.
+        let copy = tagged;
+        assert_eq!(copy, tagged);
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! schedule; what each extra request consumes is **tile capacity** — the
 //! per-layer dynamic data (Q, K, V, attention scores, FFN intermediate) must
 //! all be resident in the layer's buffers while the batch is in flight.
-//! [`BatchScheduler`] therefore admits requests FCFS into a batch until
-//! either the configured batch-size cap or the backend's cell capacity would
-//! be exceeded. The scheduler is generic over the device: any
-//! [`Backend`] supplies its per-tile budget ([`Backend::capacity`]) and the
-//! per-request footprint ([`Backend::request_cells`]).
+//! [`BatchScheduler`] therefore admits requests into a batch until either
+//! the configured batch-size cap or the backend's cell capacity would be
+//! exceeded. The *order* of admission is the configured
+//! [`SchedulingPolicy`] — FCFS (the default), earliest-deadline-first, or
+//! strict priority classes — while the caps are policy-independent. The
+//! scheduler is generic over the device: any [`Backend`] supplies its
+//! per-tile budget ([`Backend::capacity`]) and the per-request footprint
+//! ([`Backend::request_cells`]).
 
 use crate::error::RuntimeError;
+use crate::policy::SchedulingPolicy;
 use crate::Result;
 use hyflex_pim::backend::{Backend, HyFlexPim};
 use hyflex_pim::perf::PerformanceModel;
@@ -29,11 +33,32 @@ pub struct SchedulerConfig {
     /// Maximum number of requests per batch.
     pub max_batch_size: usize,
     /// How long a non-full batch may wait for more arrivals before
-    /// launching, nanoseconds.
+    /// launching, nanoseconds. `0` disables the window.
+    ///
+    /// The serving simulators give the window these semantics:
+    ///
+    /// * **Anchored at the oldest queued arrival.** The window deadline is
+    ///   `max(ready, oldest_arrival + max_wait_ns)` where `ready` is when
+    ///   the device could launch (`max(device_free, oldest_arrival)`). A
+    ///   request that already waited out the window while the device was
+    ///   busy launches the moment the device frees — a saturated device
+    ///   never adds window delay.
+    /// * **Non-clairvoyant.** A non-full batch launches at
+    ///   `min(deadline, fill time)` — equivalently it waits
+    ///   `min(max_wait_ns, time-to-fill)` past `ready` — judged only from
+    ///   arrivals at or before "now". The timer never peeks at future
+    ///   arrivals: the final batch of a run waits out its window exactly
+    ///   like a mid-run batch whose next arrival lies beyond the deadline.
+    /// * **Fill target from queue contents.** "Full" is judged against the
+    ///   requests actually queued ([`BatchScheduler::fill_time_ns`]):
+    ///   the batch-size cap, or the tile capacity at the queue's padded
+    ///   (max-sequence) execution shape, whichever binds first.
     pub max_wait_ns: f64,
     /// Processing units provisioned per layer pipeline stage; scales the
     /// tile capacity available to one batch.
     pub pus_per_layer: usize,
+    /// Order in which queued requests are admitted into a batch.
+    pub policy: SchedulingPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -42,6 +67,7 @@ impl Default for SchedulerConfig {
             max_batch_size: 16,
             max_wait_ns: 2e6, // 2 ms batching window
             pus_per_layer: 1,
+            policy: SchedulingPolicy::Fcfs,
         }
     }
 }
@@ -147,9 +173,40 @@ impl BatchScheduler {
         self.queue.len()
     }
 
-    /// Arrival time of the oldest queued request, if any.
+    /// Arrival time of the oldest queued request, if any (the minimum over
+    /// the queue; robust to out-of-submission-order arrival times).
     pub fn oldest_arrival_ns(&self) -> Option<f64> {
-        self.queue.front().map(|r| r.arrival_ns)
+        self.queue
+            .iter()
+            .map(|r| r.arrival_ns)
+            .min_by(|a, b| a.partial_cmp(b).expect("arrival times are not NaN"))
+    }
+
+    /// The earliest time at which the queue held a "full" batch, or `None`
+    /// if it never has: scanning queued requests in submission order, the
+    /// first request at which the running count reaches the batch-fill
+    /// target — `min(max_batch_size, capacity / request_cells(max seq so
+    /// far))`, i.e. the target implied by the queue's actual padded
+    /// execution shape, not by any nominal request shape. Because the
+    /// running max sequence only grows, the target only shrinks, so the
+    /// scan is exact and exits after at most `max_batch_size` requests.
+    ///
+    /// The serving simulators use this as the batching window's fill
+    /// signal: a non-full batch (`None`) waits out the window, a full one
+    /// launches at `max(ready, fill_time)`.
+    pub fn fill_time_ns(&self) -> Option<f64> {
+        let mut max_seq_len = 0usize;
+        let mut fill_time = f64::NEG_INFINITY;
+        for (index, request) in self.queue.iter().enumerate() {
+            max_seq_len = max_seq_len.max(request.seq_len);
+            fill_time = fill_time.max(request.arrival_ns);
+            let capacity_batch = (self.capacity_cells / self.request_cells(max_seq_len)).max(1);
+            let target = self.config.max_batch_size.min(capacity_batch);
+            if index + 1 >= target {
+                return Some(fill_time);
+            }
+        }
+        None
     }
 
     /// Enqueues a request.
@@ -168,6 +225,18 @@ impl BatchScheduler {
                 request.id
             )));
         }
+        if request.arrival_ns.is_nan() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "request {} has a NaN arrival time",
+                request.id
+            )));
+        }
+        if request.deadline_ns.is_nan() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "request {} has a NaN deadline (use f64::INFINITY for no SLO)",
+                request.id
+            )));
+        }
         let cells = self.request_cells(request.seq_len);
         if cells > self.capacity_cells {
             return Err(RuntimeError::CapacityExceeded(format!(
@@ -180,30 +249,50 @@ impl BatchScheduler {
         Ok(())
     }
 
-    /// Forms the next batch FCFS: admits queued requests while both the
-    /// batch-size cap and the tile capacity hold. Returns `None` when the
-    /// queue is empty. A returned batch always satisfies
+    /// Index of the request the policy would serve next, if any.
+    fn next_candidate(&self) -> Option<usize> {
+        match self.config.policy {
+            // FCFS queues are served front-first (submission order).
+            SchedulingPolicy::Fcfs => (!self.queue.is_empty()).then_some(0),
+            policy => {
+                let mut best: Option<usize> = None;
+                for (index, request) in self.queue.iter().enumerate() {
+                    if best.is_none_or(|b| policy.before(request, &self.queue[b])) {
+                        best = Some(index);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Forms the next batch in policy order: admits queued requests while
+    /// both the batch-size cap and the tile capacity hold. Returns `None`
+    /// when the queue is empty. A returned batch always satisfies
     /// `batch.len() <= max_batch_size` and `batch.cells_used <= capacity`.
     ///
     /// The batch executes padded to its longest sequence (that is the shape
     /// the device model evaluates), so admission charges *every* request the
     /// cells of the running maximum sequence length — a short request joining
-    /// a long batch costs the long shape.
+    /// a long batch costs the long shape. Admission stops at the first
+    /// policy-ordered request that no longer fits (no skip-ahead), so FCFS
+    /// keeps its strict arrival order and EDF/priority never starve the
+    /// request they rank most urgent.
     pub fn next_batch(&mut self) -> Option<Batch> {
         self.queue.front()?;
         let mut requests: Vec<InferenceRequest> = Vec::new();
         let mut max_seq_len = 0usize;
         while requests.len() < self.config.max_batch_size {
-            let Some(front) = self.queue.front() else {
+            let Some(candidate) = self.next_candidate() else {
                 break;
             };
-            let prospective_max = max_seq_len.max(front.seq_len);
+            let prospective_max = max_seq_len.max(self.queue[candidate].seq_len);
             let prospective_cells = (requests.len() + 1) * self.request_cells(prospective_max);
             if prospective_cells > self.capacity_cells {
                 break;
             }
             max_seq_len = prospective_max;
-            requests.push(self.queue.pop_front().expect("front checked above"));
+            requests.push(self.queue.remove(candidate).expect("candidate in range"));
         }
         debug_assert!(!requests.is_empty(), "submit() rejects oversized requests");
         let cells_used = requests.len() * self.request_cells(max_seq_len);
@@ -228,17 +317,14 @@ mod tests {
                 max_batch_size,
                 max_wait_ns: 0.0,
                 pus_per_layer,
+                ..SchedulerConfig::default()
             },
         )
         .unwrap()
     }
 
     fn request(id: u64, seq_len: usize) -> InferenceRequest {
-        InferenceRequest {
-            id,
-            arrival_ns: id as f64,
-            seq_len,
-        }
+        InferenceRequest::new(id, id as f64, seq_len)
     }
 
     #[test]
@@ -355,8 +441,107 @@ mod tests {
     fn submit_rejects_degenerate_sequences() {
         let mut s = scheduler(4, 1);
         assert!(s.submit(request(0, 0)).is_err());
+        assert!(s
+            .submit(request(1, 128).with_deadline_ns(f64::NAN))
+            .is_err());
+        assert!(s.submit(InferenceRequest::new(2, f64::NAN, 128)).is_err());
         assert_eq!(s.queue_len(), 0);
         assert!(s.next_batch().is_none());
         assert!(s.oldest_arrival_ns().is_none());
+        assert!(s.fill_time_ns().is_none());
+    }
+
+    fn policy_scheduler(policy: SchedulingPolicy, max_batch_size: usize) -> BatchScheduler {
+        BatchScheduler::new(
+            HyFlexPimConfig::paper_default(),
+            ModelConfig::bert_large(),
+            SchedulerConfig {
+                max_batch_size,
+                max_wait_ns: 0.0,
+                policy,
+                ..SchedulerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn edf_serves_tight_deadlines_first_and_slo_less_last() {
+        let mut s = policy_scheduler(SchedulingPolicy::Edf, 2);
+        s.submit(request(0, 128)).unwrap(); // no deadline
+        s.submit(request(1, 128).with_deadline_ns(9_000.0)).unwrap();
+        s.submit(request(2, 128).with_deadline_ns(1_000.0)).unwrap();
+        s.submit(request(3, 128).with_deadline_ns(5_000.0)).unwrap();
+        let ids: Vec<Vec<u64>> = std::iter::from_fn(|| s.next_batch())
+            .map(|b| b.requests.iter().map(|r| r.id).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![2, 3], vec![1, 0]]);
+    }
+
+    #[test]
+    fn priority_classes_are_strict_with_fcfs_within_a_class() {
+        let mut s = policy_scheduler(SchedulingPolicy::Priority, 2);
+        s.submit(request(0, 128).with_priority(2)).unwrap();
+        s.submit(request(1, 128).with_priority(0)).unwrap();
+        s.submit(request(2, 128).with_priority(1)).unwrap();
+        s.submit(request(3, 128).with_priority(0)).unwrap();
+        let ids: Vec<Vec<u64>> = std::iter::from_fn(|| s.next_batch())
+            .map(|b| b.requests.iter().map(|r| r.id).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![1, 3], vec![2, 0]]);
+    }
+
+    #[test]
+    fn policy_batches_respect_the_same_caps_as_fcfs() {
+        for policy in SchedulingPolicy::ALL {
+            let mut s = policy_scheduler(policy, 4);
+            for id in 0..32 {
+                let seq = [64usize, 512, 128, 384][id as usize % 4];
+                let r = request(id, seq)
+                    .with_deadline_ns(1e6 - id as f64)
+                    .with_priority((id % 3) as u8);
+                s.submit(r).unwrap();
+            }
+            let mut drained = 0;
+            while let Some(batch) = s.next_batch() {
+                assert!(batch.len() <= 4);
+                assert!(batch.cells_used <= s.capacity_cells());
+                assert_eq!(
+                    batch.cells_used,
+                    batch.len() * s.request_cells(batch.max_seq_len)
+                );
+                drained += batch.len();
+            }
+            assert_eq!(drained, 32, "{policy} dropped requests");
+        }
+    }
+
+    #[test]
+    fn fill_time_tracks_the_queues_actual_shape() {
+        // Size cap binds: the fill time is the target-th request's arrival.
+        let mut s = scheduler(3, 1);
+        s.submit(request(0, 64)).unwrap();
+        s.submit(request(1, 64)).unwrap();
+        assert_eq!(s.fill_time_ns(), None, "two of three queued");
+        s.submit(request(2, 64)).unwrap();
+        assert_eq!(s.fill_time_ns(), Some(2.0));
+        // Extra requests never move the fill time earlier or later.
+        s.submit(request(3, 64)).unwrap();
+        assert_eq!(s.fill_time_ns(), Some(2.0));
+
+        // Capacity binds: a long request shrinks the target, so a queue
+        // that was not full becomes full the moment the long one arrives.
+        let mut s = scheduler(16, 2);
+        s.submit(request(0, 64)).unwrap();
+        s.submit(request(1, 64)).unwrap();
+        assert_eq!(s.fill_time_ns(), None);
+        let long = 4096;
+        let capacity_batch = s.capacity_cells() / s.request_cells(long);
+        assert!(
+            (1..=3).contains(&capacity_batch),
+            "test premise: long requests bind (capacity batch {capacity_batch})"
+        );
+        s.submit(request(2, long)).unwrap();
+        assert_eq!(s.fill_time_ns(), Some(2.0));
     }
 }

@@ -11,32 +11,42 @@
 //! * [`sweep`] — parallel drivers for `NoiseSimulator` and
 //!   `PerformanceModel` sweeps, bit-identical to the serial entry points in
 //!   `hyflex-pim`.
-//! * [`batch`] — [`BatchScheduler`](batch::BatchScheduler): FCFS batching of
+//! * [`batch`] — [`BatchScheduler`](batch::BatchScheduler): batching of
 //!   [`InferenceRequest`](batch::InferenceRequest)s bounded by the tile
-//!   capacity the serving backend reports.
+//!   capacity the serving backend reports, admitted in
+//!   [`policy`] order (FCFS, earliest-deadline-first, or strict priority).
 //! * [`serving`] — [`ServingSim`](serving::ServingSim): a closed-loop
-//!   serving simulator with Poisson arrivals that reports throughput,
-//!   utilization, and p50/p95/p99 latency (see `examples/serving_sim.rs`
-//!   and the `fig18_batch_throughput` binary).
+//!   serving simulator with Poisson arrivals — homogeneous or a weighted
+//!   [`RequestClass`](serving::RequestClass) mix with per-class SLOs —
+//!   reporting throughput, utilization, p50/p95/p99 latency, and SLO
+//!   attainment (see `examples/serving_sim.rs` and the
+//!   `fig18_batch_throughput` binary).
+//! * [`cluster`] — [`ClusterSim`](cluster::ClusterSim): the same engine
+//!   over N backend replicas behind a round-robin or join-shortest-queue
+//!   dispatcher (`fig20_serving_policies`, `examples/cluster_serving.rs`).
 //!
 //! The whole execution layer is **backend-generic**: the scheduler, the
-//! serving simulator, and [`par_backend_eval`](sweep::par_backend_eval)
+//! serving simulators, and [`par_backend_eval`](sweep::par_backend_eval)
 //! consume any `hyflex_pim::Backend` ([`HyFlexPim`] or the baselines from
 //! `hyflex-baselines`), so one workload drives interchangeable device models
 //! (`fig19_backend_serving`). The HyFlexPIM path stays bit-identical to the
 //! pre-generic implementation (CI-enforced determinism suite).
 
 pub mod batch;
+pub mod cluster;
 pub mod error;
+pub mod policy;
 pub mod pool;
 pub mod serving;
 pub mod sweep;
 
 pub use batch::{Batch, BatchScheduler, InferenceRequest, SchedulerConfig};
+pub use cluster::{BatchTrace, ClusterConfig, ClusterReport, ClusterSim, DispatchPolicy};
 pub use error::RuntimeError;
 pub use hyflex_pim::backend::{Backend, HyFlexPim};
+pub use policy::SchedulingPolicy;
 pub use pool::{JobPool, PoolScope};
-pub use serving::{LatencySummary, ServingConfig, ServingReport, ServingSim};
+pub use serving::{LatencySummary, RequestClass, ServingConfig, ServingReport, ServingSim};
 pub use sweep::{par_backend_eval, par_noise_sweep, par_perf_eval};
 
 /// Convenience result alias used across the crate.

@@ -1,0 +1,157 @@
+//! Batch-formation scheduling policies.
+//!
+//! [`BatchScheduler`](crate::batch::BatchScheduler) keeps its queue in
+//! submission order and applies the configured [`SchedulingPolicy`] when it
+//! *forms* a batch: the policy picks which queued request is admitted next,
+//! and admission then proceeds greedily under the batch-size and
+//! tile-capacity caps exactly as under FCFS. All three policies are
+//! deterministic — ties always break by earlier arrival, then lower request
+//! id — so a serving run is reproducible for a seed regardless of policy.
+//!
+//! * [`Fcfs`](SchedulingPolicy::Fcfs) — strict arrival order; the historical
+//!   behavior and the default. The HyFlexPIM bit-identity contract applies
+//!   to this policy.
+//! * [`Edf`](SchedulingPolicy::Edf) — earliest deadline first against each
+//!   request's absolute
+//!   [`deadline_ns`](hyflex_pim::backend::InferenceRequest::deadline_ns);
+//!   requests without a deadline (`f64::INFINITY`) sort last. Under
+//!   overload this trades loose-SLO latency for tight-SLO attainment.
+//! * [`Priority`](SchedulingPolicy::Priority) — strict priority classes
+//!   (lower [`priority`](hyflex_pim::backend::InferenceRequest::priority)
+//!   value first), FCFS within a class.
+
+use hyflex_pim::backend::InferenceRequest;
+use serde::{Deserialize, Serialize};
+
+/// Order in which queued requests are admitted into the next batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulingPolicy {
+    /// First come, first served (the historical behavior and the default).
+    #[default]
+    Fcfs,
+    /// Earliest (absolute) deadline first; deadline-less requests sort last.
+    Edf,
+    /// Strict priority classes, lower value first; FCFS within a class.
+    Priority,
+}
+
+impl SchedulingPolicy {
+    /// Every policy, in display order (used by sweep binaries and tests).
+    pub const ALL: [SchedulingPolicy; 3] = [
+        SchedulingPolicy::Fcfs,
+        SchedulingPolicy::Edf,
+        SchedulingPolicy::Priority,
+    ];
+
+    /// Stable lower-case name (accepted back by [`SchedulingPolicy::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulingPolicy::Fcfs => "fcfs",
+            SchedulingPolicy::Edf => "edf",
+            SchedulingPolicy::Priority => "priority",
+        }
+    }
+
+    /// Parses a policy name as accepted by the binaries' `--policy` flag.
+    pub fn parse(name: &str) -> Option<SchedulingPolicy> {
+        match name.to_ascii_lowercase().as_str() {
+            "fcfs" => Some(SchedulingPolicy::Fcfs),
+            "edf" => Some(SchedulingPolicy::Edf),
+            "priority" | "prio" => Some(SchedulingPolicy::Priority),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` is served strictly before `b` under this policy.
+    ///
+    /// Total and deterministic for any pair of valid requests: the final
+    /// tie-breaks are arrival time, then the (unique) request id. Deadlines
+    /// are compared as floats, with `f64::INFINITY` (no SLO) sorting last;
+    /// NaN deadlines are rejected at submission, so the comparison is total.
+    pub(crate) fn before(&self, a: &InferenceRequest, b: &InferenceRequest) -> bool {
+        let tiebreak = |a: &InferenceRequest, b: &InferenceRequest| {
+            (a.arrival_ns, a.id) < (b.arrival_ns, b.id)
+        };
+        match self {
+            SchedulingPolicy::Fcfs => tiebreak(a, b),
+            SchedulingPolicy::Edf => {
+                if a.deadline_ns != b.deadline_ns {
+                    a.deadline_ns < b.deadline_ns
+                } else {
+                    tiebreak(a, b)
+                }
+            }
+            SchedulingPolicy::Priority => {
+                if a.priority != b.priority {
+                    a.priority < b.priority
+                } else {
+                    tiebreak(a, b)
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_ns: f64) -> InferenceRequest {
+        InferenceRequest::new(id, arrival_ns, 128)
+    }
+
+    #[test]
+    fn names_round_trip_and_reject_unknowns() {
+        for policy in SchedulingPolicy::ALL {
+            assert_eq!(SchedulingPolicy::parse(policy.name()), Some(policy));
+            assert_eq!(policy.to_string(), policy.name());
+        }
+        assert_eq!(SchedulingPolicy::parse("EDF"), Some(SchedulingPolicy::Edf));
+        assert_eq!(SchedulingPolicy::parse("lifo"), None);
+        assert_eq!(SchedulingPolicy::default(), SchedulingPolicy::Fcfs);
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival_then_id() {
+        let p = SchedulingPolicy::Fcfs;
+        assert!(p.before(&req(0, 1.0), &req(1, 2.0)));
+        assert!(!p.before(&req(1, 2.0), &req(0, 1.0)));
+        // Same arrival: the unique id breaks the tie.
+        assert!(p.before(&req(0, 1.0), &req(1, 1.0)));
+        // Deadlines and priorities are ignored.
+        assert!(p.before(
+            &req(0, 1.0).with_deadline_ns(9e9).with_priority(9),
+            &req(1, 2.0).with_deadline_ns(1.0)
+        ));
+    }
+
+    #[test]
+    fn edf_prefers_tight_deadlines_and_sorts_slo_less_last() {
+        let p = SchedulingPolicy::Edf;
+        let tight = req(5, 10.0).with_deadline_ns(100.0);
+        let loose = req(1, 1.0).with_deadline_ns(500.0);
+        let none = req(0, 0.0);
+        assert!(p.before(&tight, &loose));
+        assert!(p.before(&loose, &none));
+        assert!(p.before(&tight, &none));
+        // Equal deadlines fall back to arrival order.
+        let tight2 = req(7, 20.0).with_deadline_ns(100.0);
+        assert!(p.before(&tight, &tight2));
+    }
+
+    #[test]
+    fn priority_is_strict_with_fcfs_within_a_class() {
+        let p = SchedulingPolicy::Priority;
+        let urgent_late = req(9, 90.0).with_priority(0);
+        let casual_early = req(1, 1.0).with_priority(3);
+        assert!(p.before(&urgent_late, &casual_early));
+        let urgent_early = req(2, 2.0).with_priority(0);
+        assert!(p.before(&urgent_early, &urgent_late));
+    }
+}

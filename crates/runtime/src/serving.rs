@@ -1,34 +1,84 @@
 //! Closed-loop serving simulation: Poisson arrivals → batch scheduler →
-//! batch-aware device model → latency percentiles and throughput.
+//! batch-aware device model → latency percentiles, throughput, and SLO
+//! attainment.
 //!
 //! [`ServingSim`] drives any device implementing `hyflex_pim::Backend` with
-//! a synthetic open-loop arrival process at a configurable offered QPS.
-//! Requests queue in a [`BatchScheduler`]; whenever the device is free the
-//! scheduler forms the next FCFS batch (waiting up to the batching window
-//! for a non-full batch), the batch occupies the device for its modeled
-//! makespan, and every request completes at its pipelined completion offset.
-//! The run is fully deterministic for a given seed.
+//! a synthetic open-loop arrival process at a configurable offered QPS. The
+//! request stream may be homogeneous (every request at
+//! [`ServingConfig::seq_len`]) or a heterogeneous mix of
+//! [`RequestClass`]es — per-request sequence lengths, SLOs, and priority
+//! classes drawn from a seeded, deterministic weighted distribution.
+//! Requests queue in a [`BatchScheduler`](crate::batch::BatchScheduler) under the configured
+//! [`SchedulingPolicy`](crate::policy::SchedulingPolicy); batches launch under the batching-window
+//! semantics documented on [`SchedulerConfig::max_wait_ns`], occupy the
+//! device for their modeled makespan, and every request completes at its
+//! pipelined completion offset. The run is fully deterministic for a seed.
 //!
 //! The simulator is generic — `ServingSim<B: Backend>` — so the paper's
 //! baselines (ASADI, SPRINT, NMP, non-PIM) flow through the same serving
-//! machinery as HyFlexPIM itself (see the `fig19_backend_serving` binary).
-//! The historical HyFlexPIM-only constructor [`ServingSim::new`] remains and
-//! produces bit-identical reports to the pre-refactor implementation.
+//! machinery as HyFlexPIM itself (see the `fig19_backend_serving` and
+//! `fig20_serving_policies` binaries). The historical HyFlexPIM-only
+//! constructor [`ServingSim::new`] remains sugar over
+//! [`ServingSim::with_backend`] and produces bit-identical reports. For
+//! multi-chip serving on the same engine, see
+//! [`ClusterSim`](crate::cluster::ClusterSim).
 
 use crate::batch::{BatchScheduler, InferenceRequest};
+use crate::cluster::{run_engine, BatchTrace, DispatchPolicy};
 use crate::error::RuntimeError;
 use crate::Result;
 use hyflex_pim::backend::{Backend, HyFlexPim};
-use hyflex_pim::perf::BatchPerfSummary;
 use hyflex_pim::PerformanceModel;
 use hyflex_tensor::rng::Rng;
 use hyflex_transformer::ModelConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 pub use crate::batch::SchedulerConfig;
+
+/// One stratum of a heterogeneous request mix: a sequence length with a
+/// sampling weight, and the SLO metadata its requests carry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestClass {
+    /// Sequence length of requests in this class.
+    pub seq_len: usize,
+    /// Relative sampling weight (any positive scale; weights are
+    /// normalized over the mix).
+    pub weight: f64,
+    /// Relative SLO: a request arriving at `t` carries the absolute
+    /// deadline `t + slo_ns`. `f64::INFINITY` (the default) means the
+    /// class carries no SLO and is excluded from attainment accounting.
+    pub slo_ns: f64,
+    /// Priority class for the strict-priority policy (lower = more urgent).
+    pub priority: u8,
+}
+
+impl RequestClass {
+    /// A class of the given shape and weight, with no SLO and the default
+    /// priority.
+    pub fn new(seq_len: usize, weight: f64) -> Self {
+        RequestClass {
+            seq_len,
+            weight,
+            slo_ns: f64::INFINITY,
+            priority: 0,
+        }
+    }
+
+    /// The same class with a relative SLO attached.
+    #[must_use]
+    pub fn with_slo_ns(mut self, slo_ns: f64) -> Self {
+        self.slo_ns = slo_ns;
+        self
+    }
+
+    /// The same class assigned to a priority level (lower = more urgent).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
 
 /// Workload and policy of one serving run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,14 +87,24 @@ pub struct ServingConfig {
     pub qps: f64,
     /// Number of requests in the run.
     pub num_requests: usize,
-    /// Sequence length of every request.
+    /// Sequence length of every request when [`classes`](ServingConfig::classes) is empty.
     pub seq_len: usize,
+    /// Relative SLO applied to every request when
+    /// [`classes`](ServingConfig::classes) is empty; `f64::INFINITY` (the
+    /// default) tracks no deadline.
+    pub slo_ns: f64,
+    /// Heterogeneous request mix: each request samples a [`RequestClass`]
+    /// by weight (seeded, deterministic). Empty (the default) means a
+    /// homogeneous run at (`seq_len`, `slo_ns`, priority 0) — and, because
+    /// no mix draw consumes randomness, an arrival process bit-identical
+    /// to the pre-mix simulator's.
+    pub classes: Vec<RequestClass>,
     /// SLC protection rate of the deployed mapping. Consumed by the
     /// HyFlexPIM constructor ([`ServingSim::new`]); backends passed to
     /// [`ServingSim::with_backend`] already carry their mapping and ignore
     /// this field.
     pub slc_rank_fraction: f64,
-    /// Seed of the arrival process.
+    /// Seed of the arrival process (inter-arrival times and mix draws).
     pub seed: u64,
     /// Batching policy.
     pub scheduler: SchedulerConfig,
@@ -56,6 +116,8 @@ impl Default for ServingConfig {
             qps: 1000.0,
             num_requests: 2000,
             seq_len: 128,
+            slo_ns: f64::INFINITY,
+            classes: Vec::new(),
             slc_rank_fraction: 0.1,
             seed: 7,
             scheduler: SchedulerConfig::default(),
@@ -93,6 +155,9 @@ pub struct ServingReport {
     pub achieved_qps: f64,
     /// End-to-end request latency distribution.
     pub latency: LatencySummary,
+    /// Fraction of deadline-carrying requests that completed by their
+    /// deadline (1.0 when no request carries an SLO).
+    pub slo_attainment: f64,
     /// Mean formed batch size.
     pub mean_batch_size: f64,
     /// Fraction of the run the device spent executing batches.
@@ -145,9 +210,11 @@ impl<B: Backend + 'static> ServingSim<B> {
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InvalidConfig`] for non-positive load or an
-    /// empty run, and propagates scheduler-configuration errors (including a
-    /// request shape that does not fit the backend's tile capacity).
+    /// Returns [`RuntimeError::InvalidConfig`] for non-positive load, an
+    /// empty run, or a degenerate request mix (non-positive weight,
+    /// non-positive SLO), and propagates scheduler-configuration errors
+    /// (including any request shape in the mix that does not fit the
+    /// backend's tile capacity).
     pub fn with_backend(backend: B, config: ServingConfig) -> Result<Self> {
         if config.qps.is_nan() || config.qps <= 0.0 {
             return Err(RuntimeError::InvalidConfig(format!(
@@ -160,17 +227,40 @@ impl<B: Backend + 'static> ServingSim<B> {
                 "num_requests must be at least 1".to_string(),
             ));
         }
+        if config.slo_ns.is_nan() || config.slo_ns <= 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "slo_ns {} must be positive (f64::INFINITY for no SLO)",
+                config.slo_ns
+            )));
+        }
+        for (index, class) in config.classes.iter().enumerate() {
+            if !(class.weight > 0.0 && class.weight.is_finite()) {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "request class {index} has non-positive weight {}",
+                    class.weight
+                )));
+            }
+            if class.slo_ns.is_nan() || class.slo_ns <= 0.0 {
+                return Err(RuntimeError::InvalidConfig(format!(
+                    "request class {index} has non-positive slo_ns {}",
+                    class.slo_ns
+                )));
+            }
+        }
         let backend = Arc::new(backend);
-        // Validate the scheduler policy and tile fit up front.
+        // Validate the scheduler policy and the tile fit of every shape in
+        // the mix up front.
         let mut probe = BatchScheduler::for_backend(
             Arc::clone(&backend) as Arc<dyn Backend>,
             config.scheduler,
         )?;
-        probe.submit(InferenceRequest {
-            id: 0,
-            arrival_ns: 0.0,
-            seq_len: config.seq_len,
-        })?;
+        if config.classes.is_empty() {
+            probe.submit(InferenceRequest::new(0, 0.0, config.seq_len))?;
+        } else {
+            for class in &config.classes {
+                probe.submit(InferenceRequest::new(0, 0.0, class.seq_len))?;
+            }
+        }
         Ok(ServingSim { backend, config })
     }
 
@@ -184,137 +274,145 @@ impl<B: Backend + 'static> ServingSim<B> {
         &self.backend
     }
 
+    /// The backend as a shared trait object (for the engine).
+    pub(crate) fn backend_dyn(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend) as Arc<dyn Backend>
+    }
+
+    /// Samples the run's arrival stream: Poisson arrivals at `qps`, each
+    /// request's shape/SLO/priority drawn from the configured mix.
+    /// Deterministic for a seed; with an empty mix the stream is
+    /// bit-identical to the historical single-shape generator.
+    pub(crate) fn generate_arrivals(&self) -> Vec<InferenceRequest> {
+        let cfg = &self.config;
+        let mut rng = Rng::seed_from(cfg.seed);
+        let total_weight: f64 = cfg.classes.iter().map(|c| c.weight).sum();
+        let mut arrivals = Vec::with_capacity(cfg.num_requests);
+        let mut t = 0.0f64;
+        for id in 0..cfg.num_requests as u64 {
+            // Poisson process: exponential inter-arrival times at rate qps.
+            t += -(1.0 - rng.uniform()).ln() / cfg.qps * 1e9;
+            let class = if cfg.classes.is_empty() {
+                RequestClass::new(cfg.seq_len, 1.0).with_slo_ns(cfg.slo_ns)
+            } else {
+                // Weighted draw; one extra uniform per request.
+                let mut pick = rng.uniform() * total_weight;
+                let mut chosen = *cfg.classes.last().expect("classes are non-empty");
+                for class in &cfg.classes {
+                    if pick < class.weight {
+                        chosen = *class;
+                        break;
+                    }
+                    pick -= class.weight;
+                }
+                chosen
+            };
+            let deadline_ns = if class.slo_ns.is_finite() {
+                t + class.slo_ns
+            } else {
+                f64::INFINITY
+            };
+            arrivals.push(
+                InferenceRequest::new(id, t, class.seq_len)
+                    .with_deadline_ns(deadline_ns)
+                    .with_priority(class.priority),
+            );
+        }
+        arrivals
+    }
+
     /// Runs the simulation to completion.
     ///
     /// # Errors
     ///
     /// Propagates scheduler and device-model errors.
     pub fn run(&self) -> Result<ServingReport> {
-        let cfg = &self.config;
-        let mut rng = Rng::seed_from(cfg.seed);
-        let mut arrivals = Vec::with_capacity(cfg.num_requests);
-        let mut t = 0.0f64;
-        for id in 0..cfg.num_requests as u64 {
-            // Poisson process: exponential inter-arrival times at rate qps.
-            t += -(1.0 - rng.uniform()).ln() / cfg.qps * 1e9;
-            arrivals.push(InferenceRequest {
-                id,
-                arrival_ns: t,
-                seq_len: cfg.seq_len,
-            });
-        }
+        Ok(self.run_traced()?.0)
+    }
 
-        let mut scheduler = BatchScheduler::for_backend(
-            Arc::clone(&self.backend) as Arc<dyn Backend>,
-            cfg.scheduler,
+    /// Runs the simulation and also returns every launched batch (chip 0
+    /// only — there is one chip), in launch order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and device-model errors.
+    pub fn run_traced(&self) -> Result<(ServingReport, Vec<BatchTrace>)> {
+        let arrivals = self.generate_arrivals();
+        self.replay_traced(&arrivals)
+    }
+
+    /// Replays an explicit arrival stream (sorted by `arrival_ns`) instead
+    /// of sampling the configured Poisson process — for trace-driven
+    /// studies and timer-semantics tests. The report's `offered_qps`
+    /// remains the configured value; everything else reflects the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for an empty or unsorted
+    /// stream and propagates scheduler and device-model errors.
+    pub fn replay(&self, arrivals: &[InferenceRequest]) -> Result<ServingReport> {
+        Ok(self.replay_traced(arrivals)?.0)
+    }
+
+    /// [`ServingSim::replay`], also returning every launched batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServingSim::replay`].
+    pub fn replay_traced(
+        &self,
+        arrivals: &[InferenceRequest],
+    ) -> Result<(ServingReport, Vec<BatchTrace>)> {
+        let mut outcome = run_engine(
+            self.backend_dyn(),
+            1,
+            DispatchPolicy::RoundRobin,
+            self.config.scheduler,
+            arrivals,
         )?;
-        // Every request in a run shares one sequence length, so the largest
-        // batch the tile can actually execute is known up front; the batching
-        // window must not wait for arrivals that could never join the batch.
-        let capacity_batch =
-            (scheduler.capacity_cells() / scheduler.request_cells(cfg.seq_len)).max(1);
-        let fill_target = cfg.scheduler.max_batch_size.min(capacity_batch);
-        let max_wait = cfg.scheduler.max_wait_ns;
-
-        // Batches repeat shapes heavily; memoize the analytical evaluation.
-        let mut shape_cache: HashMap<(usize, usize), BatchPerfSummary> = HashMap::new();
-
-        let mut next = 0usize; // index of the next not-yet-submitted arrival
-        let mut device_free = 0.0f64;
-        let mut busy_ns = 0.0f64;
-        let mut last_completion = 0.0f64;
-        let mut latencies_ns: Vec<f64> = Vec::with_capacity(cfg.num_requests);
-        let mut queue_ns_sum = 0.0f64;
-        let mut batches = 0usize;
-
-        while next < arrivals.len() || scheduler.queue_len() > 0 {
-            if scheduler.queue_len() == 0 {
-                scheduler.submit(arrivals[next].clone())?;
-                next += 1;
-            }
-            let first_arrival = scheduler
-                .oldest_arrival_ns()
-                .expect("queue is non-empty here");
-            let ready = device_free.max(first_arrival);
-            // Everything that has already arrived joins the queue.
-            while next < arrivals.len() && arrivals[next].arrival_ns <= ready {
-                scheduler.submit(arrivals[next].clone())?;
-                next += 1;
-            }
-            // Batching window: a non-full batch waits up to max_wait for
-            // later arrivals, launching early the moment it fills.
-            let mut launch = ready;
-            if scheduler.queue_len() < fill_target && max_wait > 0.0 && next < arrivals.len() {
-                let deadline = ready + max_wait;
-                while next < arrivals.len()
-                    && scheduler.queue_len() < fill_target
-                    && arrivals[next].arrival_ns <= deadline
-                {
-                    launch = launch.max(arrivals[next].arrival_ns);
-                    scheduler.submit(arrivals[next].clone())?;
-                    next += 1;
-                }
-                if scheduler.queue_len() < fill_target && next < arrivals.len() {
-                    // The window expired before the batch filled.
-                    launch = deadline;
-                }
-            }
-
-            let batch = scheduler.next_batch().expect("queue is non-empty here");
-            let key = (batch.max_seq_len, batch.len());
-            let summary = match shape_cache.entry(key) {
-                Entry::Occupied(entry) => entry.into_mut(),
-                Entry::Vacant(entry) => entry.insert(
-                    self.backend
-                        .evaluate_batched(batch.max_seq_len, batch.len())?,
-                ),
-            };
-            let start = launch.max(device_free);
-            for (k, request) in batch.requests.iter().enumerate() {
-                let completion = start + summary.completion_ns(k);
-                latencies_ns.push(completion - request.arrival_ns);
-                queue_ns_sum += start - request.arrival_ns;
-                last_completion = last_completion.max(completion);
-            }
-            device_free = start + summary.makespan_ns;
-            busy_ns += summary.makespan_ns;
-            batches += 1;
-        }
-
-        let completed = latencies_ns.len();
+        let span_start = arrivals.first().map_or(0.0, |a| a.arrival_ns);
+        let completed = outcome.latencies_ns.len();
         // Span from the first arrival to the last completion, matching the
         // documented definition (the clock itself starts at t = 0, before
         // the first exponential inter-arrival sample).
-        let span_start = arrivals.first().map_or(0.0, |a| a.arrival_ns);
-        let sim_seconds = (last_completion - span_start).max(0.0) * 1e-9;
-        let mut sorted = latencies_ns;
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-        let latency = LatencySummary {
-            p50_ms: percentile_ns(&sorted, 0.50) / 1e6,
-            p95_ms: percentile_ns(&sorted, 0.95) / 1e6,
-            p99_ms: percentile_ns(&sorted, 0.99) / 1e6,
-            mean_ms: sorted.iter().sum::<f64>() / completed as f64 / 1e6,
-            max_ms: sorted.last().copied().unwrap_or(0.0) / 1e6,
-        };
-        Ok(ServingReport {
+        let sim_seconds = (outcome.last_completion_ns - span_start).max(0.0) * 1e-9;
+        let chip = outcome.chips[0].clone();
+        let report = ServingReport {
             completed,
-            batches,
+            batches: chip.batches,
             sim_seconds,
-            offered_qps: cfg.qps,
+            offered_qps: self.config.qps,
             achieved_qps: if sim_seconds > 0.0 {
                 completed as f64 / sim_seconds
             } else {
                 0.0
             },
-            latency,
-            mean_batch_size: completed as f64 / batches.max(1) as f64,
-            device_utilization: if device_free > span_start {
-                busy_ns / (device_free - span_start)
+            latency: latency_summary(std::mem::take(&mut outcome.latencies_ns)),
+            slo_attainment: outcome.slo_attainment(),
+            mean_batch_size: completed as f64 / chip.batches.max(1) as f64,
+            device_utilization: if chip.device_free_ns > span_start {
+                chip.busy_ns / (chip.device_free_ns - span_start)
             } else {
                 0.0
             },
-            mean_queue_ms: queue_ns_sum / completed as f64 / 1e6,
-        })
+            mean_queue_ms: outcome.queue_ns_sum / completed.max(1) as f64 / 1e6,
+        };
+        Ok((report, outcome.traces))
+    }
+}
+
+/// Builds the percentile summary from raw request latencies, ns.
+pub(crate) fn latency_summary(mut latencies_ns: Vec<f64>) -> LatencySummary {
+    if latencies_ns.is_empty() {
+        return LatencySummary::default();
+    }
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LatencySummary {
+        p50_ms: percentile_ns(&latencies_ns, 0.50) / 1e6,
+        p95_ms: percentile_ns(&latencies_ns, 0.95) / 1e6,
+        p99_ms: percentile_ns(&latencies_ns, 0.99) / 1e6,
+        mean_ms: latencies_ns.iter().sum::<f64>() / latencies_ns.len() as f64 / 1e6,
+        max_ms: latencies_ns.last().copied().unwrap_or(0.0) / 1e6,
     }
 }
 
@@ -330,6 +428,7 @@ fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SchedulingPolicy;
     use hyflex_baselines::{AcceleratorBackend, NonPim, Sprint};
 
     fn sim(qps: f64, max_batch_size: usize, num_requests: usize) -> ServingSim {
@@ -362,7 +461,22 @@ mod tests {
             num_requests: 0,
             ..ServingConfig::default()
         };
-        assert!(ServingSim::new(perf, model, empty).is_err());
+        assert!(ServingSim::new(perf.clone(), model.clone(), empty).is_err());
+        let bad_slo = ServingConfig {
+            slo_ns: 0.0,
+            ..ServingConfig::default()
+        };
+        assert!(ServingSim::new(perf.clone(), model.clone(), bad_slo).is_err());
+        let bad_class = ServingConfig {
+            classes: vec![RequestClass::new(128, 0.0)],
+            ..ServingConfig::default()
+        };
+        assert!(ServingSim::new(perf.clone(), model.clone(), bad_class).is_err());
+        let bad_class_slo = ServingConfig {
+            classes: vec![RequestClass::new(128, 1.0).with_slo_ns(-1.0)],
+            ..ServingConfig::default()
+        };
+        assert!(ServingSim::new(perf, model, bad_class_slo).is_err());
     }
 
     #[test]
@@ -379,6 +493,8 @@ mod tests {
         assert!(report.mean_batch_size >= 1.0);
         assert!(report.mean_batch_size <= 8.0);
         assert!(report.device_utilization > 0.0 && report.device_utilization <= 1.0);
+        // No request carries an SLO, so attainment is trivially perfect.
+        assert_eq!(report.slo_attainment, 1.0);
     }
 
     #[test]
@@ -473,10 +589,218 @@ mod tests {
     }
 
     #[test]
+    fn saturated_device_never_adds_window_delay() {
+        // Regression for the window-anchor bug: the old timer re-armed the
+        // batching window at `ready = max(device_free, first_arrival)`, so
+        // a request that had already out-waited the window while the device
+        // was busy waited an *extra* full `max_wait` after the device freed.
+        // The fixed anchor is `oldest_arrival + max_wait` (clamped to
+        // `ready`): a saturated device launches the moment it frees.
+        let max_wait = 10_000.0; // 10 µs, far below the batch makespan
+        let s = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            ServingConfig {
+                scheduler: SchedulerConfig {
+                    max_batch_size: 2,
+                    max_wait_ns: max_wait,
+                    ..SchedulerConfig::default()
+                },
+                ..ServingConfig::default()
+            },
+        )
+        .unwrap();
+        let arrivals = [
+            // A full batch launches at t = 0 and occupies the device.
+            InferenceRequest::new(0, 0.0, 128),
+            InferenceRequest::new(1, 0.0, 128),
+            // Arrives while the device executes batch 0 and out-waits the
+            // window long before the device frees.
+            InferenceRequest::new(2, 1_000.0, 128),
+            // A distant future arrival keeps the run "mid-stream" when
+            // batch 1's launch is decided.
+            InferenceRequest::new(3, 1e12, 128),
+        ];
+        let (_, traces) = s.replay_traced(&arrivals).unwrap();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].batch.len(), 2);
+        assert_eq!(traces[0].launch_ns, 0.0);
+        let device_free = traces[0].launch_ns + traces[0].makespan_ns;
+        assert!(
+            device_free > arrivals[2].arrival_ns + max_wait,
+            "test premise: request 2 out-waits the window while the device is busy"
+        );
+        assert_eq!(
+            traces[1].launch_ns, device_free,
+            "a request that already out-waited the window must launch the \
+             moment the device frees"
+        );
+    }
+
+    #[test]
+    fn window_is_non_clairvoyant_at_end_of_run() {
+        // Regression for the end-of-run clairvoyance bug: the old timer
+        // launched the final non-full batch instantly because it could see
+        // there were no further arrivals, while an identical mid-run batch
+        // idled until its window deadline. The fixed window always waits
+        // min(max_wait, time-to-fill), so the two cases agree.
+        let s = sim(1.0, 16, 3);
+        let max_wait = s.config().scheduler.max_wait_ns;
+        let lone = [InferenceRequest::new(0, 0.0, 128)];
+        let (_, lone_traces) = s.replay_traced(&lone).unwrap();
+        assert_eq!(lone_traces.len(), 1);
+        assert_eq!(
+            lone_traces[0].launch_ns, max_wait,
+            "a lone request must wait out the batching window"
+        );
+        // The same request followed by an arrival provably beyond the
+        // window deadline: the first batch must launch identically.
+        let followed = [
+            InferenceRequest::new(0, 0.0, 128),
+            InferenceRequest::new(1, 100.0 * max_wait, 128),
+        ];
+        let (_, followed_traces) = s.replay_traced(&followed).unwrap();
+        assert_eq!(followed_traces[0].launch_ns, lone_traces[0].launch_ns);
+    }
+
+    #[test]
+    fn window_still_launches_early_the_moment_the_batch_fills() {
+        let s = sim(1.0, 2, 3); // batch cap 2
+        let max_wait = s.config().scheduler.max_wait_ns;
+        let fill_at = max_wait / 4.0;
+        let arrivals = [
+            InferenceRequest::new(0, 0.0, 128),
+            InferenceRequest::new(1, fill_at, 128),
+            InferenceRequest::new(2, 1e12, 128),
+        ];
+        let (_, traces) = s.replay_traced(&arrivals).unwrap();
+        assert_eq!(traces[0].batch.len(), 2);
+        assert_eq!(
+            traces[0].launch_ns, fill_at,
+            "a filling arrival launches the batch immediately"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_mix_draws_every_class_deterministically() {
+        let config = ServingConfig {
+            qps: 2000.0,
+            num_requests: 400,
+            classes: vec![
+                RequestClass::new(64, 3.0).with_slo_ns(2e6).with_priority(0),
+                RequestClass::new(256, 1.0).with_priority(1),
+            ],
+            ..ServingConfig::default()
+        };
+        let sim = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            config.clone(),
+        )
+        .unwrap();
+        let arrivals = sim.generate_arrivals();
+        let short = arrivals.iter().filter(|r| r.seq_len == 64).count();
+        let long = arrivals.iter().filter(|r| r.seq_len == 256).count();
+        assert_eq!(short + long, 400);
+        // 3:1 weights: both classes are well represented.
+        assert!(short > long && long > 40, "short {short}, long {long}");
+        // Class metadata flows onto the requests.
+        assert!(arrivals
+            .iter()
+            .filter(|r| r.seq_len == 64)
+            .all(|r| r.has_deadline() && r.priority == 0));
+        assert!(arrivals
+            .iter()
+            .filter(|r| r.seq_len == 256)
+            .all(|r| !r.has_deadline() && r.priority == 1));
+        // Deterministic: the same seed reproduces the stream and report.
+        assert_eq!(arrivals, sim.generate_arrivals());
+        let a = sim.run().unwrap();
+        let b = sim.run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.completed, 400);
+    }
+
+    #[test]
+    fn slo_attainment_tracks_only_deadline_carrying_requests() {
+        // Light load, generous SLO: everything tracked meets its deadline.
+        let generous = ServingConfig {
+            qps: 100.0,
+            num_requests: 150,
+            slo_ns: 1e9, // 1 s
+            ..ServingConfig::default()
+        };
+        let report = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            generous,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(report.slo_attainment, 1.0);
+        // An SLO tighter than the single-request latency can never be met.
+        let impossible = ServingConfig {
+            qps: 100.0,
+            num_requests: 150,
+            slo_ns: 1.0, // 1 ns
+            ..ServingConfig::default()
+        };
+        let report = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            impossible,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(report.slo_attainment, 0.0);
+    }
+
+    #[test]
+    fn edf_policy_runs_deterministically_with_mixed_deadlines() {
+        let config = ServingConfig {
+            qps: 8000.0,
+            num_requests: 300,
+            classes: vec![
+                RequestClass::new(64, 1.0).with_slo_ns(3e6),
+                RequestClass::new(128, 1.0),
+            ],
+            scheduler: SchedulerConfig {
+                policy: SchedulingPolicy::Edf,
+                ..SchedulerConfig::default()
+            },
+            ..ServingConfig::default()
+        };
+        let sim = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            config,
+        )
+        .unwrap();
+        let a = sim.run().unwrap();
+        assert_eq!(a, sim.run().unwrap());
+        assert_eq!(a.completed, 300);
+        assert!(a.slo_attainment >= 0.0 && a.slo_attainment <= 1.0);
+    }
+
+    #[test]
+    fn replay_rejects_degenerate_streams() {
+        let s = sim(100.0, 4, 10);
+        assert!(s.replay(&[]).is_err());
+        let unsorted = [
+            InferenceRequest::new(0, 10.0, 128),
+            InferenceRequest::new(1, 5.0, 128),
+        ];
+        assert!(s.replay(&unsorted).is_err());
+    }
+
+    #[test]
     fn percentile_is_nearest_rank() {
         let sorted = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile_ns(&sorted, 0.50), 2.0);
         assert_eq!(percentile_ns(&sorted, 0.99), 4.0);
         assert_eq!(percentile_ns(&[], 0.5), 0.0);
+        assert_eq!(latency_summary(Vec::new()), LatencySummary::default());
     }
 }

@@ -135,6 +135,108 @@ fn determinism_generic_serving_is_bit_identical_to_the_legacy_path() {
     assert_eq!(legacy, generic);
 }
 
+#[test]
+fn determinism_policy_serving_is_reproducible_and_fcfs_default_unchanged() {
+    // The policy-aware scheduler and the heterogeneous mix must be exact
+    // functions of the seed, and the explicit-FCFS configuration must be
+    // byte-identical to the default (policy is additive, not perturbing).
+    use hyflex_pim::backend::HyFlexPim;
+    use hyflex_runtime::{
+        RequestClass, SchedulerConfig, SchedulingPolicy, ServingConfig, ServingSim,
+    };
+
+    let base = ServingConfig {
+        qps: 4000.0,
+        num_requests: 260,
+        classes: vec![
+            RequestClass::new(64, 2.0).with_slo_ns(4e6).with_priority(0),
+            RequestClass::new(256, 1.0).with_priority(1),
+        ],
+        slc_rank_fraction: 0.05,
+        seed: 21,
+        ..ServingConfig::default()
+    };
+    let run = |policy: SchedulingPolicy| {
+        let config = ServingConfig {
+            scheduler: SchedulerConfig {
+                policy,
+                ..SchedulerConfig::default()
+            },
+            ..base.clone()
+        };
+        ServingSim::with_backend(
+            HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap(),
+            config,
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    };
+    for policy in SchedulingPolicy::ALL {
+        assert_eq!(run(policy), run(policy), "{policy} run not reproducible");
+    }
+    let default = ServingSim::with_backend(
+        HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap(),
+        base.clone(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(run(SchedulingPolicy::Fcfs), default);
+}
+
+#[test]
+fn determinism_cluster_serving_is_reproducible_and_one_chip_matches_single() {
+    use hyflex_pim::backend::HyFlexPim;
+    use hyflex_runtime::{ClusterConfig, ClusterSim, DispatchPolicy, ServingConfig, ServingSim};
+
+    let serving = ServingConfig {
+        qps: 6000.0,
+        num_requests: 240,
+        seq_len: 128,
+        slc_rank_fraction: 0.05,
+        seed: 33,
+        ..ServingConfig::default()
+    };
+    let cluster = |chips: usize, dispatch: DispatchPolicy| {
+        ClusterSim::with_backend(
+            HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap(),
+            ClusterConfig {
+                chips,
+                dispatch,
+                serving: serving.clone(),
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    };
+    for dispatch in DispatchPolicy::ALL {
+        for chips in [1usize, 3] {
+            assert_eq!(
+                cluster(chips, dispatch),
+                cluster(chips, dispatch),
+                "{chips}-chip {dispatch} cluster run not reproducible"
+            );
+        }
+    }
+    // One replica behind either dispatcher is the single-device simulator.
+    let single = ServingSim::with_backend(
+        HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap(),
+        serving.clone(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    for dispatch in DispatchPolicy::ALL {
+        let report = cluster(1, dispatch);
+        assert_eq!(report.latency, single.latency);
+        assert_eq!(report.batches, single.batches);
+        assert_eq!(report.sim_seconds, single.sim_seconds);
+        assert_eq!(report.mean_queue_ms, single.mean_queue_ms);
+    }
+}
+
 proptest! {
     #[test]
     fn determinism_par_map_equals_serial_map(

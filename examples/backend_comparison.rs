@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example backend_comparison`
 
 use hyflex::baselines::{BackendRegistry, SystemBuilder};
-use hyflex::runtime::{SchedulerConfig, ServingConfig, ServingSim};
+use hyflex::runtime::{ServingConfig, ServingSim};
 use hyflex::transformer::ModelConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 seq_len,
                 slc_rank_fraction: slc_rate,
                 seed: 7,
-                scheduler: SchedulerConfig::default(),
+                ..ServingConfig::default()
             },
         )?
         .run()?;

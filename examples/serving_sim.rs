@@ -57,6 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_batch_size,
                 ..SchedulerConfig::default()
             },
+            ..ServingConfig::default()
         };
         let report = ServingSim::new(perf.clone(), model.clone(), config)?.run()?;
         println!(

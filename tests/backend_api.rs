@@ -35,7 +35,7 @@ fn every_registered_backend_runs_through_serving_sim() {
             seq_len: 128,
             slc_rank_fraction: 0.05,
             seed: 19,
-            scheduler: SchedulerConfig::default(),
+            ..ServingConfig::default()
         };
         let report = ServingSim::with_backend(backend, config)
             .unwrap_or_else(|e| panic!("{name}: sim construction failed: {e}"))
@@ -154,11 +154,7 @@ fn mixed_seq_len_padding_never_shrinks_the_initiation_interval() {
         BatchScheduler::for_backend(Arc::clone(&backend), SchedulerConfig::default()).unwrap();
     for (id, seq) in [64usize, 512, 128, 256].iter().enumerate() {
         scheduler
-            .submit(InferenceRequest {
-                id: id as u64,
-                arrival_ns: id as f64,
-                seq_len: *seq,
-            })
+            .submit(InferenceRequest::new(id as u64, id as f64, *seq))
             .unwrap();
     }
     let batch = scheduler.next_batch().unwrap();

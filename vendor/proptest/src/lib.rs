@@ -44,6 +44,31 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! Sampling strategies (`proptest::sample::select`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing one of a fixed set of values, mirroring
+    /// `proptest::sample::select` for `Vec` inputs.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Builds a selection strategy over `values`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[(rng.next_u64() as usize) % self.0.len()].clone()
+        }
+    }
+}
+
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
