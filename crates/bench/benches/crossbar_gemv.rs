@@ -50,6 +50,27 @@ fn bench_bit_serial_gemv(c: &mut Criterion) {
     group.finish();
 }
 
+/// A 4-tile matrix: the shape where the program-time tile plans and the
+/// row-tile pool parallelism of `gemv_pooled` matter.
+fn bench_multi_tile_gemv(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let weights = Matrix::random_normal(256, 32, 0.0, 0.5, &mut rng);
+    let input: Vec<f32> = (0..256).map(|_| rng.normal() as f32).collect();
+    let noise = NoiseModel::calibrated_to_paper();
+    let slc =
+        MappedMatrix::program(&weights, WeightMapping::slc_default(), &noise, &mut rng).unwrap();
+    let pool = hyflex_parallel::JobPool::with_default_parallelism();
+
+    let mut group = c.benchmark_group("crossbar/bit_serial_gemv_256x32");
+    group.bench_function("slc_6b_adc_serial", |b| {
+        b.iter(|| slc.gemv(black_box(&input)).unwrap())
+    });
+    group.bench_function("slc_6b_adc_pooled", |b| {
+        b.iter(|| slc.gemv_pooled(black_box(&input), &pool).unwrap())
+    });
+    group.finish();
+}
+
 fn bench_digital_pim(c: &mut Criterion) {
     let mut module = DigitalPimModule::paper_default();
     let q: Vec<Vec<i32>> = (0..16)
@@ -69,6 +90,7 @@ criterion_group!(
     benches,
     bench_cell_level_crossbar,
     bench_bit_serial_gemv,
+    bench_multi_tile_gemv,
     bench_digital_pim
 );
 criterion_main!(benches);

@@ -19,6 +19,24 @@ fn bench_svd(c: &mut Criterion) {
     group.finish();
 }
 
+/// Jacobi vs randomized at the paper's hard-threshold rank — the truncated
+/// decomposition `GradientRedistribution::apply` actually needs.
+fn bench_svd_algorithms_at_hard_threshold(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(5);
+    for &size in &[32usize, 64] {
+        let w = Matrix::random_normal(size, size, 0.0, 0.5, &mut rng);
+        let k = svd::hard_threshold_rank(size, size);
+        let mut group = c.benchmark_group(format!("svd/truncated_{size}x{size}_rank{k}"));
+        group.bench_function("jacobi", |b| {
+            b.iter(|| svd::svd_with(black_box(&w), svd::SvdAlgorithm::Jacobi, k).unwrap())
+        });
+        group.bench_function("randomized", |b| {
+            b.iter(|| svd::svd_with(black_box(&w), svd::SvdAlgorithm::Randomized, k).unwrap())
+        });
+        group.finish();
+    }
+}
+
 fn bench_factored_layer(c: &mut Criterion) {
     let mut rng = Rng::seed_from(4);
     let weight = Matrix::random_normal(64, 64, 0.0, 0.5, &mut rng);
@@ -47,5 +65,10 @@ fn bench_factored_layer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_svd, bench_factored_layer);
+criterion_group!(
+    benches,
+    bench_svd,
+    bench_svd_algorithms_at_hard_threshold,
+    bench_factored_layer
+);
 criterion_main!(benches);

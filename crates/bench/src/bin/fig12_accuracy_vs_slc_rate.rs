@@ -9,12 +9,13 @@
 //! bit-identical to the serial sweep. Common flags: `--mlc-bits 3|4` for the
 //! higher-level-MLC ablation, `--threads N`, `--seed N`, `--out PATH`.
 
-use hyflex_bench::{emitln, fmt, print_row, run_functional_experiment, BinArgs};
+use hyflex_bench::{emitln, fmt, print_row, run_functional_experiment_with, BinArgs};
 use hyflex_pim::noise_sim::SweepPoint;
 use hyflex_pim::noise_sim::{HybridMappingSpec, NoiseSimulator};
 use hyflex_pim::selection::SelectionStrategy;
 use hyflex_rram::cell::CellMode;
 use hyflex_runtime::{par_noise_sweep, JobPool};
+use hyflex_tensor::SvdAlgorithm;
 use hyflex_transformer::ModelConfig;
 use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
 use hyflex_workloads::{lm, vision};
@@ -29,8 +30,10 @@ fn sweep(
     dataset: hyflex_workloads::Dataset,
     mlc: CellMode,
     seed: u64,
+    svd_algo: SvdAlgorithm,
 ) {
-    let experiment = run_functional_experiment(model, dataset, 4, 2, seed).expect("experiment");
+    let experiment =
+        run_functional_experiment_with(model, dataset, 4, 2, seed, svd_algo).expect("experiment");
     let simulator = NoiseSimulator::paper_default();
     let baseline = experiment.report.eval_finetuned.metrics.primary_value();
     let base = HybridMappingSpec {
@@ -70,6 +73,7 @@ fn main() {
     args.require_hyflexpim("fig12 sweeps task accuracy under the HyFlexPIM noise model");
     let pool = args.pool();
     let mlc = args.mlc_mode();
+    let svd_algo = args.svd_algo_or_exit(SvdAlgorithm::Jacobi);
     emitln!(
         "Figure 12 — task quality vs SLC protection rate (MLC = {}-bit cells, {} workers)",
         mlc.bits_per_cell(),
@@ -101,6 +105,7 @@ fn main() {
             dataset,
             mlc,
             seed,
+            svd_algo,
         );
     }
     let stsb_seed = args.seed_or(22);
@@ -112,6 +117,7 @@ fn main() {
         stsb,
         mlc,
         stsb_seed,
+        svd_algo,
     );
 
     // (b) Decoder: synthetic WikiText-2 stand-in on the tiny decoder.
@@ -124,6 +130,7 @@ fn main() {
         wiki,
         mlc,
         wiki_seed,
+        svd_algo,
     );
 
     // Vision: synthetic CIFAR-10 stand-in on the tiny ViT.
@@ -136,5 +143,6 @@ fn main() {
         cifar,
         mlc,
         vit_seed,
+        svd_algo,
     );
 }

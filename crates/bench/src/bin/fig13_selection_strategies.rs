@@ -4,11 +4,12 @@
 //! worker pool; per-point seeding keeps results bit-identical to the serial
 //! sweep. Common flags: `--threads N`, `--seed N`, `--out PATH`.
 
-use hyflex_bench::{emitln, fmt, print_row, run_functional_experiment, BinArgs};
+use hyflex_bench::{emitln, fmt, print_row, run_functional_experiment_with, BinArgs};
 use hyflex_pim::noise_sim::{HybridMappingSpec, NoiseSimulator, SweepPoint};
 use hyflex_pim::selection::SelectionStrategy;
 use hyflex_rram::cell::CellMode;
 use hyflex_runtime::par_noise_sweep;
+use hyflex_tensor::SvdAlgorithm;
 use hyflex_transformer::ModelConfig;
 use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
 
@@ -22,6 +23,7 @@ fn main() {
     // (and unknown names) through the registry.
     args.require_hyflexpim("fig13 compares SLC selection strategies of the HyFlexPIM mapping");
     let pool = args.pool();
+    let svd_algo = args.svd_algo_or_exit(SvdAlgorithm::Jacobi);
     emitln!(
         "Figure 13 — SLC selection strategy comparison (tiny encoder, {} workers)",
         pool.workers()
@@ -29,9 +31,15 @@ fn main() {
     for (task, default_seed) in [(GlueTask::Mrpc, 31u64), (GlueTask::Cola, 32u64)] {
         let seed = args.seed_or(default_seed);
         let dataset = glue::generate(task, &GlueConfig::default(), seed);
-        let experiment =
-            run_functional_experiment(ModelConfig::tiny_encoder(2), dataset, 4, 2, seed)
-                .expect("experiment");
+        let experiment = run_functional_experiment_with(
+            ModelConfig::tiny_encoder(2),
+            dataset,
+            4,
+            2,
+            seed,
+            svd_algo,
+        )
+        .expect("experiment");
         let simulator = NoiseSimulator::paper_default();
         emitln!("\nTask: {} (metric: accuracy)", task.name());
         print_row(

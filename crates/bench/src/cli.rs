@@ -13,6 +13,9 @@
 //!   (`hyflexpim`, `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim`);
 //!   binaries that only model HyFlexPIM (the accuracy sweeps) reject other
 //!   names with the registry's listing;
+//! * `--svd-algo NAME` — SVD algorithm for the gradient-redistribution
+//!   pipeline (`jacobi` — the bit-stable default — or `randomized`, the
+//!   Gaussian-sketch subspace iteration);
 //! * `--policy NAME` — batch-formation scheduling policy for serving
 //!   binaries (`fcfs`, `edf`, `priority`);
 //! * `--chips N` — cluster size for multi-chip serving binaries;
@@ -24,6 +27,7 @@ use hyflex_baselines::{BackendRegistry, SystemBuilder};
 use hyflex_pim::backend::Backend;
 use hyflex_rram::cell::CellMode;
 use hyflex_runtime::{DispatchPolicy, JobPool, SchedulingPolicy};
+use hyflex_tensor::SvdAlgorithm;
 use hyflex_transformer::ModelConfig;
 use std::path::PathBuf;
 
@@ -40,6 +44,8 @@ pub struct BinArgs {
     pub threads: Option<usize>,
     /// `--backend NAME`: registered comparison backend.
     pub backend: Option<String>,
+    /// `--svd-algo NAME`: SVD algorithm for factorization pipelines.
+    pub svd_algo: Option<String>,
     /// `--policy NAME`: batch-formation scheduling policy.
     pub policy: Option<String>,
     /// `--chips N`: cluster size for multi-chip serving.
@@ -71,6 +77,7 @@ impl BinArgs {
         parsed.out = value_of("--out").map(PathBuf::from);
         parsed.threads = value_of("--threads").and_then(|v| v.parse().ok());
         parsed.backend = value_of("--backend").cloned();
+        parsed.svd_algo = value_of("--svd-algo").cloned();
         parsed.policy = value_of("--policy").cloned();
         parsed.chips = value_of("--chips").and_then(|v| v.parse().ok());
         parsed.dispatch = value_of("--dispatch").cloned();
@@ -99,6 +106,33 @@ impl BinArgs {
     /// and exits with status 2 instead of returning it.
     pub fn policy_or_exit(&self, default: SchedulingPolicy) -> SchedulingPolicy {
         self.policy_or(default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
+    /// The `--svd-algo` selection (or `default`), validated against the
+    /// algorithm names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hyflex_pim::PimError::InvalidConfig`] naming the accepted
+    /// algorithms for an unknown name.
+    pub fn svd_algo_or(&self, default: SvdAlgorithm) -> hyflex_pim::Result<SvdAlgorithm> {
+        match &self.svd_algo {
+            None => Ok(default),
+            Some(name) => SvdAlgorithm::parse(name).ok_or_else(|| {
+                hyflex_pim::PimError::InvalidConfig(format!(
+                    "unknown --svd-algo {name}; expected one of: jacobi, randomized"
+                ))
+            }),
+        }
+    }
+
+    /// Binary-facing variant of [`BinArgs::svd_algo_or`]: prints the error
+    /// and exits with status 2 instead of returning it.
+    pub fn svd_algo_or_exit(&self, default: SvdAlgorithm) -> SvdAlgorithm {
+        self.svd_algo_or(default).unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         })
@@ -347,6 +381,31 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("random") && err.contains("jsq"), "{err}");
+    }
+
+    #[test]
+    fn svd_algo_flag_parses_and_validates() {
+        let args = parse(&["--svd-algo", "randomized"]);
+        assert_eq!(
+            args.svd_algo_or(SvdAlgorithm::Jacobi).unwrap(),
+            SvdAlgorithm::Randomized
+        );
+        // Default applies when the flag is absent.
+        let args = parse(&[]);
+        assert_eq!(
+            args.svd_algo_or(SvdAlgorithm::Jacobi).unwrap(),
+            SvdAlgorithm::Jacobi
+        );
+        // Unknown names are errors that list the accepted values.
+        let args = parse(&["--svd-algo", "lapack"]);
+        let err = args
+            .svd_algo_or(SvdAlgorithm::Jacobi)
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("lapack") && err.contains("randomized"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 use hyflex_pim::gradient_redistribution::{GradientRedistribution, RedistributionReport};
 use hyflex_pim::Result;
 use hyflex_tensor::rng::Rng;
+use hyflex_tensor::SvdAlgorithm;
 use hyflex_transformer::{AdamWConfig, ModelConfig, Trainer, TransformerModel};
 use hyflex_workloads::Dataset;
 
@@ -70,6 +71,31 @@ pub fn run_functional_experiment(
     finetune_epochs: usize,
     seed: u64,
 ) -> Result<FunctionalExperiment> {
+    run_functional_experiment_with(
+        config,
+        dataset,
+        pretrain_epochs,
+        finetune_epochs,
+        seed,
+        SvdAlgorithm::Jacobi,
+    )
+}
+
+/// [`run_functional_experiment`] with an explicit SVD algorithm (the
+/// `--svd-algo` flag of the accuracy figure binaries lands here; `jacobi`
+/// reproduces the recorded figures bit for bit).
+///
+/// # Errors
+///
+/// Propagates model/training errors.
+pub fn run_functional_experiment_with(
+    config: ModelConfig,
+    dataset: Dataset,
+    pretrain_epochs: usize,
+    finetune_epochs: usize,
+    seed: u64,
+    svd_algorithm: SvdAlgorithm,
+) -> Result<FunctionalExperiment> {
     let mut rng = Rng::seed_from(seed);
     let mut model = TransformerModel::new(config, &mut rng)?;
     let trainer = Trainer::new(
@@ -83,6 +109,7 @@ pub fn run_functional_experiment(
     trainer.train(&mut model, &dataset.train, pretrain_epochs)?;
     let pipeline = GradientRedistribution {
         finetune_epochs,
+        svd_algorithm,
         ..GradientRedistribution::new(trainer)
     };
     let report = pipeline.apply(&mut model, &dataset.train, &dataset.eval)?;

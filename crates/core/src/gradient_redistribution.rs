@@ -21,6 +21,7 @@
 use crate::error::PimError;
 use crate::Result;
 use hyflex_tensor::svd::hard_threshold_rank;
+pub use hyflex_tensor::svd::SvdAlgorithm;
 use hyflex_transformer::layers::AnyLinear;
 use hyflex_transformer::trainer::{EvalReport, Sample};
 use hyflex_transformer::{Trainer, TransformerModel};
@@ -114,6 +115,10 @@ impl RedistributionReport {
 pub struct GradientRedistribution {
     /// Truncation policy (Algorithm 1 step 2).
     pub truncation: TruncationPolicy,
+    /// SVD algorithm used to factorize each layer (Algorithm 1 step 1).
+    /// Jacobi is the bit-stable default; the randomized sketch is the
+    /// opt-in fast path for truncated ranks (`--svd-algo randomized`).
+    pub svd_algorithm: SvdAlgorithm,
     /// Fine-tuning epochs (the paper uses 1–3).
     pub finetune_epochs: usize,
     /// Trainer (optimizer + batch size) used for fine-tuning and for the
@@ -122,17 +127,20 @@ pub struct GradientRedistribution {
 }
 
 impl GradientRedistribution {
-    /// Creates a pipeline with the paper's defaults (hard threshold, 2 epochs).
+    /// Creates a pipeline with the paper's defaults (hard threshold, Jacobi
+    /// SVD, 2 epochs).
     pub fn new(trainer: Trainer) -> Self {
         GradientRedistribution {
             truncation: TruncationPolicy::HardThreshold,
+            svd_algorithm: SvdAlgorithm::Jacobi,
             finetune_epochs: 2,
             trainer,
         }
     }
 
     /// Factorizes every static linear layer of `model` under the truncation
-    /// policy. Returns the chosen rank per layer.
+    /// policy with the configured SVD algorithm. Returns the chosen rank per
+    /// layer.
     ///
     /// # Errors
     ///
@@ -141,7 +149,9 @@ impl GradientRedistribution {
         let mut ranks = Vec::new();
         for layer in model.static_linears_mut() {
             let rank = self.truncation.rank_for(layer.in_dim(), layer.out_dim());
-            layer.factorize(rank).map_err(PimError::from)?;
+            layer
+                .factorize_with(rank, self.svd_algorithm)
+                .map_err(PimError::from)?;
             ranks.push(rank);
         }
         Ok(ranks)
@@ -319,7 +329,7 @@ mod tests {
         let pipeline = GradientRedistribution {
             truncation: TruncationPolicy::HardThreshold,
             finetune_epochs: 3,
-            trainer,
+            ..GradientRedistribution::new(trainer)
         };
         let report = pipeline
             .apply(&mut model, &dataset.train, &dataset.eval)
@@ -359,6 +369,52 @@ mod tests {
     }
 
     #[test]
+    fn randomized_svd_matches_jacobi_error_on_the_fig11_workload() {
+        // The fig11 workload: a tiny encoder trained on synthetic MRPC. At
+        // the paper's hard-threshold rank the randomized sketch must stay
+        // within 1e-3 relative reconstruction error of the exact Jacobi
+        // factorization for every static layer (the acceptance bound).
+        let (model, _dataset, trainer) = trained_tiny_model(6);
+        for layer in model.static_linears() {
+            let weight = match layer {
+                AnyLinear::Dense(d) => d.weight().clone(),
+                AnyLinear::Factored(_) => unreachable!("the trained model is dense"),
+            };
+            let k = hard_threshold_rank(weight.rows(), weight.cols());
+            let jacobi = hyflex_transformer::FactoredLinear::from_weight_with(
+                &weight,
+                k,
+                SvdAlgorithm::Jacobi,
+            )
+            .unwrap();
+            let randomized = hyflex_transformer::FactoredLinear::from_weight_with(
+                &weight,
+                k,
+                SvdAlgorithm::Randomized,
+            )
+            .unwrap();
+            let err_jacobi = jacobi.to_dense().relative_error(&weight).unwrap();
+            let err_randomized = randomized.to_dense().relative_error(&weight).unwrap();
+            assert!(
+                err_randomized <= err_jacobi + 1e-3,
+                "layer {}x{}: randomized err {err_randomized} vs jacobi err {err_jacobi}",
+                weight.rows(),
+                weight.cols()
+            );
+        }
+        // The whole pipeline also runs end to end on the randomized path.
+        let (mut model, dataset, _) = trained_tiny_model(6);
+        let pipeline = GradientRedistribution {
+            svd_algorithm: SvdAlgorithm::Randomized,
+            ..GradientRedistribution::new(trainer)
+        };
+        let report = pipeline
+            .apply(&mut model, &dataset.train, &dataset.eval)
+            .unwrap();
+        assert_eq!(report.layer_profiles.len(), 12);
+    }
+
+    #[test]
     fn gradient_collection_requires_a_factored_model() {
         let (mut model, dataset, trainer) = trained_tiny_model(3);
         let pipeline = GradientRedistribution::new(trainer);
@@ -393,7 +449,7 @@ mod tests {
         let pipeline = GradientRedistribution {
             truncation: TruncationPolicy::HardThreshold,
             finetune_epochs: 0,
-            trainer,
+            ..GradientRedistribution::new(trainer)
         };
         assert!(pipeline
             .apply(&mut model, &dataset.train, &dataset.eval)

@@ -1,0 +1,240 @@
+//! # hyflex-parallel
+//!
+//! A scoped `std::thread` worker pool with a shared job queue.
+//!
+//! This is the foundation crate of the workspace's parallel kernel layer: it
+//! sits *below* `hyflex-tensor` and `hyflex-rram` so that the numeric hot
+//! paths (blocked GEMM kernels, the tiled crossbar GEMV) and the evaluation
+//! surfaces (noise-injected accuracy sweeps, the figure binaries, the
+//! analytical performance model in `hyflex-runtime`) all share one
+//! dependency-free parallel driver:
+//!
+//! * [`JobPool::scope`] collects arbitrary jobs and drains them with scoped
+//!   worker threads pulling from one shared queue (work-stealing style: an
+//!   idle worker takes the next pending job, so long and short jobs balance
+//!   without static partitioning).
+//! * [`JobPool::par_map`] maps a function over a slice in dynamically claimed
+//!   chunks and returns the results **in input order**, so the output is
+//!   bit-identical to the serial `iter().map().collect()` regardless of how
+//!   the chunks were scheduled.
+//!
+//! Determinism is the contract: jobs must not share mutable state, and every
+//! per-job RNG must be seeded from the job's own input (as
+//! `NoiseSimulator::evaluate` already does), never from a shared stream.
+//!
+//! `hyflex-runtime` re-exports [`JobPool`] and [`PoolScope`] (they lived
+//! there before the kernel layer needed them), so existing
+//! `hyflex_runtime::JobPool` / `hyflex_runtime::pool::JobPool` imports keep
+//! working.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// A fixed-width pool of scoped worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    workers: usize,
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::with_default_parallelism()
+    }
+}
+
+impl JobPool {
+    /// A pool with exactly `workers` worker threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        JobPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-worker pool that runs every job inline on the calling thread
+    /// without spawning. This is the zero-overhead default for library entry
+    /// points that accept a pool but are usually called serially.
+    pub fn serial() -> Self {
+        JobPool::new(1)
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    pub fn with_default_parallelism() -> Self {
+        JobPool::new(thread::available_parallelism().map_or(1, NonZeroUsize::get))
+    }
+
+    /// Number of worker threads this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` with a [`PoolScope`], then drains every spawned job on the
+    /// pool's workers before returning. Borrows in jobs only need to outlive
+    /// the `scope` call, mirroring `std::thread::scope`.
+    pub fn scope<'env, T>(&self, f: impl FnOnce(&mut PoolScope<'env>) -> T) -> T {
+        let mut scope = PoolScope { jobs: Vec::new() };
+        let out = f(&mut scope);
+        self.run_jobs(scope.jobs);
+        out
+    }
+
+    /// Applies `f` to every element of `items` in parallel and returns the
+    /// results in input order (bit-identical to the serial map).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        // Chunked dynamic claiming: small enough chunks that uneven job costs
+        // rebalance, large enough that the atomic claim is not the hot path.
+        let chunk = items.len().div_ceil(self.workers * 4).max(1);
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
+        let f = &f;
+        let next = &next;
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        thread::scope(|s| {
+            for _ in 0..self.workers.min(items.len()) {
+                let tx = tx.clone();
+                s.spawn(move || loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= items.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(items.len());
+                    let results: Vec<R> = items[start..end].iter().map(f).collect();
+                    if tx.send((start, results)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (start, results) in rx {
+                for (offset, value) in results.into_iter().enumerate() {
+                    slots[start + offset] = Some(value);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every par_map slot is filled by exactly one chunk"))
+            .collect()
+    }
+
+    fn run_jobs<'env>(&self, jobs: Vec<Job<'env>>) {
+        if self.workers == 1 || jobs.len() <= 1 {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let worker_count = self.workers.min(jobs.len());
+        let queue: Mutex<VecDeque<Job<'env>>> = Mutex::new(jobs.into());
+        thread::scope(|s| {
+            for _ in 0..worker_count {
+                s.spawn(|| loop {
+                    let job = queue.lock().expect("job queue poisoned").pop_front();
+                    match job {
+                        Some(job) => job(),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Collects jobs spawned inside [`JobPool::scope`].
+pub struct PoolScope<'env> {
+    jobs: Vec<Job<'env>>,
+}
+
+impl<'env> PoolScope<'env> {
+    /// Queues `job` for execution when the scope closure returns.
+    pub fn spawn(&mut self, job: impl FnOnce() + Send + 'env) {
+        self.jobs.push(Box::new(job));
+    }
+
+    /// Number of jobs queued so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job has been queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_serial_order_for_every_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pool = JobPool::new(workers);
+            let got = pool.par_map(&items, |x| x.wrapping_mul(2654435761));
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        let pool = JobPool::new(4);
+        assert_eq!(pool.par_map(&[] as &[i32], |x| *x), Vec::<i32>::new());
+        assert_eq!(pool.par_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_job() {
+        let pool = JobPool::new(4);
+        let counter = AtomicU64::new(0);
+        let total = pool.scope(|s| {
+            for i in 0..100u64 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            s.len()
+        });
+        assert_eq!(total, 100);
+        assert_eq!(counter.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn scope_jobs_may_borrow_from_the_environment() {
+        let pool = JobPool::new(2);
+        let inputs = [1usize, 2, 3, 4];
+        let results: Vec<Mutex<usize>> = inputs.iter().map(|_| Mutex::new(0)).collect();
+        pool.scope(|s| {
+            for (input, slot) in inputs.iter().zip(&results) {
+                s.spawn(move || {
+                    *slot.lock().unwrap() = input * input;
+                });
+            }
+        });
+        let values: Vec<usize> = results.iter().map(|m| *m.lock().unwrap()).collect();
+        assert_eq!(values, vec![1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn pool_reports_workers_and_clamps_zero() {
+        assert_eq!(JobPool::new(0).workers(), 1);
+        assert_eq!(JobPool::serial().workers(), 1);
+        assert!(JobPool::with_default_parallelism().workers() >= 1);
+        assert!(JobPool::default().workers() >= 1);
+    }
+}

@@ -18,6 +18,7 @@ use crate::cell::CellMode;
 use crate::error::RramError;
 use crate::noise::NoiseModel;
 use crate::Result;
+use hyflex_parallel::JobPool;
 use hyflex_tensor::quant::{quantize_vector, QuantizedMatrix};
 use hyflex_tensor::rng::Rng;
 use hyflex_tensor::Matrix;
@@ -101,6 +102,44 @@ impl WeightMapping {
     }
 }
 
+/// One physical row tile of a programmed matrix, laid out for the bit-serial
+/// read loop at `program` time (rather than rebuilt inside the
+/// `tile × input_bit × digit_plane` GEMV loop, as the first implementation
+/// did).
+///
+/// The digit planes are stored **column-major per tile**: the inner GEMV
+/// reduction walks one physical bit-line column of one tile, so this layout
+/// makes that walk contiguous instead of striding `cols` floats per step.
+#[derive(Debug, Clone)]
+struct TilePlan {
+    /// First weight row held by this tile.
+    row_start: usize,
+    /// Number of weight rows in this tile (≤ `mapping.array_rows`).
+    rows: usize,
+    /// `planes[k][c * rows + r_local]`: analog digit of cell group `k`
+    /// (least significant first) at weight position
+    /// `(row_start + r_local, c)`.
+    planes: Vec<Vec<f32>>,
+}
+
+impl TilePlan {
+    /// Word-line activation lists (tile-local row indices, ascending) for
+    /// every input bit, built in one pass over the tile's rows — the first
+    /// implementation re-scanned the rows once per input bit.
+    fn active_rows(&self, unsigned_input: &[i64], input_bits: usize) -> Vec<Vec<usize>> {
+        let mut active: Vec<Vec<usize>> = vec![Vec::new(); input_bits];
+        for r_local in 0..self.rows {
+            let word = unsigned_input[self.row_start + r_local];
+            for (bit, rows_on) in active.iter_mut().enumerate() {
+                if (word >> bit) & 1 == 1 {
+                    rows_on.push(r_local);
+                }
+            }
+        }
+        active
+    }
+}
+
 /// A weight matrix programmed into (noisy) analog crossbar digits.
 #[derive(Debug, Clone)]
 pub struct MappedMatrix {
@@ -108,9 +147,8 @@ pub struct MappedMatrix {
     rows: usize,
     cols: usize,
     weight_scale: f32,
-    /// `digits[k]` holds the analog value of cell group `k` (least
-    /// significant first) for every (row, col) weight position.
-    digits: Vec<Matrix>,
+    /// Per-tile read plans, precomputed once at `program` time.
+    tiles: Vec<TilePlan>,
     /// Ideal unsigned column sums `Σ_i wu_ij`, used for the zero-point
     /// correction which is computed digitally from programmed data.
     unsigned_col_sums: Vec<f64>,
@@ -181,14 +219,50 @@ impl MappedMatrix {
             }
         }
 
+        let tiles = Self::plan_tiles(&digits, quantized.rows(), quantized.cols(), &mapping);
         Ok(MappedMatrix {
             mapping,
             rows: quantized.rows(),
             cols: quantized.cols(),
             weight_scale: quantized.scale(),
-            digits,
+            tiles,
             unsigned_col_sums,
         })
+    }
+
+    /// Carves the row-major digit planes into per-tile column-major read
+    /// plans (see [`TilePlan`]). Done once at `program` time so the GEMV
+    /// loop never re-derives tile bounds or strides.
+    fn plan_tiles(
+        digits: &[Matrix],
+        rows: usize,
+        cols: usize,
+        mapping: &WeightMapping,
+    ) -> Vec<TilePlan> {
+        let tile_rows = mapping.array_rows;
+        (0..rows.div_ceil(tile_rows))
+            .map(|tile| {
+                let row_start = tile * tile_rows;
+                let height = (rows - row_start).min(tile_rows);
+                let planes = digits
+                    .iter()
+                    .map(|plane| {
+                        let mut col_major = vec![0.0f32; height * cols];
+                        for r_local in 0..height {
+                            for (c, value) in plane.row(row_start + r_local).iter().enumerate() {
+                                col_major[c * height + r_local] = *value;
+                            }
+                        }
+                        col_major
+                    })
+                    .collect();
+                TilePlan {
+                    row_start,
+                    rows: height,
+                    planes,
+                }
+            })
+            .collect()
     }
 
     /// Weight-matrix shape `(rows, cols)` — inputs have length `rows`,
@@ -209,10 +283,11 @@ impl MappedMatrix {
 
     /// Number of 64-row array tiles needed to hold the matrix rows.
     pub fn row_tiles(&self) -> usize {
-        self.rows.div_ceil(self.mapping.array_rows)
+        self.tiles.len()
     }
 
-    /// Performs the bit-serial analog GEMV `out_j = Σ_i input_i · w_ij`.
+    /// Performs the bit-serial analog GEMV `out_j = Σ_i input_i · w_ij`
+    /// serially on the calling thread.
     ///
     /// The floating-point input vector is quantized to the mapping's input
     /// bit width, applied bit-serially, digitized per tile by the ADC, and
@@ -223,6 +298,23 @@ impl MappedMatrix {
     ///
     /// Returns [`RramError::ShapeMismatch`] when `input.len() != rows`.
     pub fn gemv(&self, input: &[f32]) -> Result<Vec<f32>> {
+        self.gemv_pooled(input, &JobPool::serial())
+    }
+
+    /// [`MappedMatrix::gemv`] with the per-tile read-out work spread over
+    /// `pool`.
+    ///
+    /// Each row tile is an independent job producing its ADC-digitized
+    /// column sums; the shift-and-add recombination then replays the
+    /// canonical `tile → input_bit → digit_plane → column` accumulation
+    /// order on the calling thread, so the output is **bit-identical** to
+    /// the serial [`MappedMatrix::gemv`] for every worker count (enforced by
+    /// this module's determinism test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::ShapeMismatch`] when `input.len() != rows`.
+    pub fn gemv_pooled(&self, input: &[f32], pool: &JobPool) -> Result<Vec<f32>> {
         if input.len() != self.rows {
             return Err(RramError::ShapeMismatch(format!(
                 "input length {} does not match weight rows {}",
@@ -240,33 +332,78 @@ impl MappedMatrix {
         let unsigned_input_sum: i64 = unsigned_input.iter().sum();
 
         let bits_per_cell = u32::from(self.mapping.mode.bits_per_cell());
+        let input_bits = usize::from(self.mapping.input_bits);
         let levels = self.mapping.mode.levels();
-        let tile_rows = self.mapping.array_rows;
-        let n_tiles = self.row_tiles();
+        let n_groups = self.tiles.first().map_or(0, |t| t.planes.len());
 
         // Accumulated unsigned analog product Σ_i au_i · wu_ij per column.
+        // Both branches below accumulate in the canonical
+        // `tile → input_bit → digit_plane → column` order with identical
+        // arithmetic, so they are bit-identical to each other.
         let mut unsigned_acc = vec![0.0f64; self.cols];
-
-        for tile in 0..n_tiles {
-            let row_start = tile * tile_rows;
-            let row_end = (row_start + tile_rows).min(self.rows);
-            for input_bit in 0..u32::from(self.mapping.input_bits) {
-                // Word lines active in this cycle within this tile.
-                let active: Vec<usize> = (row_start..row_end)
-                    .filter(|&r| (unsigned_input[r] >> input_bit) & 1 == 1)
-                    .collect();
-                if active.is_empty() {
-                    continue;
-                }
-                for (k, digit_plane) in self.digits.iter().enumerate() {
-                    for (c, acc) in unsigned_acc.iter_mut().enumerate() {
-                        let mut analog_sum = 0.0f64;
-                        for &r in &active {
-                            analog_sum += digit_plane.at(r, c) as f64;
+        if pool.workers() == 1 || self.tiles.len() <= 1 {
+            // Serial fast path: digitize and shift-and-add in one fused pass
+            // with no intermediate buffers.
+            for tile in &self.tiles {
+                let active = tile.active_rows(&unsigned_input, input_bits);
+                for (input_bit, rows_on) in active.iter().enumerate() {
+                    if rows_on.is_empty() {
+                        continue;
+                    }
+                    for (k, plane) in tile.planes.iter().enumerate() {
+                        let shift = input_bit as u32 + (k as u32) * bits_per_cell;
+                        let weight = (1u64 << shift) as f64;
+                        for (column, acc) in
+                            plane.chunks_exact(tile.rows).zip(unsigned_acc.iter_mut())
+                        {
+                            let mut analog_sum = 0.0f64;
+                            for &r in rows_on {
+                                analog_sum += f64::from(column[r]);
+                            }
+                            *acc += self.digitize(analog_sum, levels) * weight;
                         }
-                        let digitized = self.digitize(analog_sum, levels);
-                        let shift = input_bit + (k as u32) * bits_per_cell;
-                        *acc += digitized * (1u64 << shift) as f64;
+                    }
+                }
+            }
+        } else {
+            // Pooled path: each tile is an independent read-only job that
+            // produces its ADC-digitized column sums (per input bit, per
+            // digit plane, flattened `[k][c]`; `None` when no word line of
+            // the tile is active for that bit)...
+            let tile_sums: Vec<Vec<Option<Vec<f64>>>> = pool.par_map(&self.tiles, |tile| {
+                let active = tile.active_rows(&unsigned_input, input_bits);
+                active
+                    .iter()
+                    .map(|rows_on| {
+                        if rows_on.is_empty() {
+                            return None;
+                        }
+                        let mut digitized = Vec::with_capacity(n_groups * self.cols);
+                        for plane in &tile.planes {
+                            for column in plane.chunks_exact(tile.rows) {
+                                let mut analog_sum = 0.0f64;
+                                for &r in rows_on {
+                                    analog_sum += f64::from(column[r]);
+                                }
+                                digitized.push(self.digitize(analog_sum, levels));
+                            }
+                        }
+                        Some(digitized)
+                    })
+                    .collect()
+            });
+            // ...and the calling thread replays the canonical shift-and-add
+            // recombination over the collected sums.
+            for per_bit in &tile_sums {
+                for (input_bit, digitized) in per_bit.iter().enumerate() {
+                    let Some(digitized) = digitized else { continue };
+                    for k in 0..n_groups {
+                        let shift = input_bit as u32 + (k as u32) * bits_per_cell;
+                        let weight = (1u64 << shift) as f64;
+                        let plane_sums = &digitized[k * self.cols..(k + 1) * self.cols];
+                        for (acc, value) in unsigned_acc.iter_mut().zip(plane_sums.iter()) {
+                            *acc += value * weight;
+                        }
                     }
                 }
             }
@@ -492,6 +629,32 @@ mod tests {
         .unwrap();
         assert_eq!(mlc.physical_columns(), 5 * 4);
         assert_eq!(slc.shape(), (8, 5));
+    }
+
+    #[test]
+    fn pooled_gemv_is_bit_identical_for_every_worker_count() {
+        // 150 rows forces 3 tiles so the pool genuinely splits the work;
+        // paper-calibrated noise plus a real ADC exercises the full
+        // digitization path rather than the ideal shortcuts.
+        let weights = random_weights(150, 12, 20);
+        let input = random_input(150, 21);
+        for mapping in [WeightMapping::slc_default(), WeightMapping::mlc_default()] {
+            let mut rng = Rng::seed_from(22);
+            let mapped = MappedMatrix::program(
+                &weights,
+                mapping,
+                &NoiseModel::calibrated_to_paper(),
+                &mut rng,
+            )
+            .unwrap();
+            let serial = mapped.gemv(&input).unwrap();
+            for workers in [1, 2, 3, 8] {
+                let pooled = mapped.gemv_pooled(&input, &JobPool::new(workers)).unwrap();
+                let serial_bits: Vec<u32> = serial.iter().map(|x| x.to_bits()).collect();
+                let pooled_bits: Vec<u32> = pooled.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(pooled_bits, serial_bits, "workers={workers}, {mapping:?}");
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * [`pool`] — [`JobPool`](pool::JobPool): a scoped `std::thread` worker
 //!   pool with a shared job queue and an order-preserving `par_map`, used by
 //!   the noise-accuracy sweeps and the figure binaries to parallelize
-//!   seed × SLC-rate × evaluation-point grids without changing results.
+//!   seed × SLC-rate × evaluation-point grids without changing results. The
+//!   implementation lives in the foundation crate `hyflex-parallel` (so the
+//!   kernel layers in `hyflex-tensor`/`hyflex-rram` can use it too); this
+//!   crate re-exports it for back-compat.
 //! * [`sweep`] — parallel drivers for `NoiseSimulator` and
 //!   `PerformanceModel` sweeps, bit-identical to the serial entry points in
 //!   `hyflex-pim`.

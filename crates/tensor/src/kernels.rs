@@ -1,0 +1,336 @@
+//! Blocked/tiled dense kernels shared by the whole numeric stack.
+//!
+//! [`Matrix::matmul`], [`Matrix::matmul_transpose`], and [`Matrix::matvec`]
+//! route through this module, so the transformer layers, the factored-SVD
+//! layers, and the trainer all run on the same cache-blocked inner loops.
+//! The randomized SVD's sketch products and the fused rank-k
+//! [`crate::svd::Svd::reconstruct`] live here too.
+//!
+//! **Bit-identity contract.** Every kernel in this module produces output
+//! that is bit-identical to the naive reference loop it replaces: blocking
+//! only reorders *which output element is worked on next*, never the order
+//! in which contributions are accumulated into a given element (always
+//! ascending inner index `k`, with the same skip-on-zero shortcuts). The
+//! pooled variants assign each output row to exactly one job, so they are
+//! also bit-identical for every worker count. `tests/property_invariants.rs`
+//! enforces kernel-vs-naive equivalence exactly, not within a tolerance.
+
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::Result;
+use hyflex_parallel::JobPool;
+
+/// Row-block (`i`) tile: output rows worked on together.
+const BLOCK_ROWS: usize = 32;
+/// Inner-dimension (`k`) tile: rows of `b` kept hot across a row block.
+const BLOCK_INNER: usize = 64;
+/// Column (`j`) tile: bounds the `b`-block working set to
+/// `BLOCK_INNER × BLOCK_COLS` floats (~128 KiB), which fits mid-level cache.
+const BLOCK_COLS: usize = 512;
+
+/// Blocked matrix multiplication `a * b`.
+///
+/// Bit-identical to the textbook `ikj` loop with the `a == 0.0` skip: for
+/// every output element the contributions arrive in ascending `k` order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_rows_into(a, b, 0, a.rows(), out.as_mut_slice());
+    Ok(out)
+}
+
+/// Blocked matrix multiplication with output rows split across `pool`.
+///
+/// Each job owns a disjoint band of output rows, so the result is
+/// bit-identical to [`matmul`] for every worker count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &JobPool) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = a.rows();
+    let n = b.cols();
+    if pool.workers() == 1 || m < 2 * BLOCK_ROWS {
+        return matmul(a, b);
+    }
+    let bands: Vec<(usize, usize)> = (0..m)
+        .step_by(BLOCK_ROWS)
+        .map(|row0| (row0, (row0 + BLOCK_ROWS).min(m)))
+        .collect();
+    let band_data = pool.par_map(&bands, |&(row0, row1)| {
+        let mut band = vec![0.0f32; (row1 - row0) * n];
+        matmul_rows_into(a, b, row0, row1, &mut band);
+        band
+    });
+    let mut data = Vec::with_capacity(m * n);
+    for band in band_data {
+        data.extend_from_slice(&band);
+    }
+    Matrix::from_vec(m, n, data)
+}
+
+/// Computes output rows `[row0, row1)` of `a * b` into `out` (a buffer of
+/// exactly `(row1 - row0) * b.cols()` zeros).
+fn matmul_rows_into(a: &Matrix, b: &Matrix, row0: usize, row1: usize, out: &mut [f32]) {
+    let inner = a.cols();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for col0 in (0..n).step_by(BLOCK_COLS) {
+        let col1 = (col0 + BLOCK_COLS).min(n);
+        for k0 in (0..inner).step_by(BLOCK_INNER) {
+            let k1 = (k0 + BLOCK_INNER).min(inner);
+            for i0 in (row0..row1).step_by(BLOCK_ROWS) {
+                let i1 = (i0 + BLOCK_ROWS).min(row1);
+                for i in i0..i1 {
+                    let a_row = &a_data[i * inner..(i + 1) * inner];
+                    let out_row = &mut out[(i - row0) * n + col0..(i - row0) * n + col1];
+                    for (k, &aik) in a_row.iter().enumerate().take(k1).skip(k0) {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[k * n + col0..k * n + col1];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Blocked matrix multiplication with the transpose of `b`: `a * bᵀ`.
+///
+/// Bit-identical to the naive row-dot-row loop: each output element is a
+/// single dot product accumulated in ascending `k` order.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `a.cols() != b.cols()`.
+pub fn matmul_transpose(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transpose",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let out_data = out.as_mut_slice();
+    for i0 in (0..m).step_by(BLOCK_ROWS) {
+        let i1 = (i0 + BLOCK_ROWS).min(m);
+        for j0 in (0..n).step_by(BLOCK_ROWS) {
+            let j1 = (j0 + BLOCK_ROWS).min(n);
+            for i in i0..i1 {
+                let lhs_row = a.row(i);
+                for j in j0..j1 {
+                    let rhs_row = b.row(j);
+                    let mut acc = 0.0f32;
+                    for (x, y) in lhs_row.iter().zip(rhs_row.iter()) {
+                        acc += x * y;
+                    }
+                    out_data[i * n + j] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix–vector product `a * v` (row dot products, ascending `k`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `v.len() != a.cols()`.
+pub fn matvec(a: &Matrix, v: &[f32]) -> Result<Vec<f32>> {
+    if v.len() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape(),
+            rhs: (v.len(), 1),
+        });
+    }
+    let mut out = vec![0.0f32; a.rows()];
+    for (r, out_val) in out.iter_mut().enumerate() {
+        let row = a.row(r);
+        let mut acc = 0.0f32;
+        for (x, y) in row.iter().zip(v.iter()) {
+            acc += x * y;
+        }
+        *out_val = acc;
+    }
+    Ok(out)
+}
+
+/// Fused rank-k reconstruction `U · diag(σ) · Vᵀ`.
+///
+/// Replaces the rank-1-update triple loop (`k` outer, strided column writes
+/// into the output) with a row-major sweep: one pass per output row, each
+/// rank contributing an AXPY over the contiguous `Vᵀ` row. Per output
+/// element the contributions still arrive in ascending `k` order with the
+/// same `σ == 0` / `u·σ == 0` skips, so the result is bit-identical to the
+/// old loop.
+///
+/// # Panics
+///
+/// Panics if `sigmas.len()` exceeds the factor ranks (callers pass factors
+/// produced together by the SVD, which are consistent by construction).
+pub fn reconstruct_rank_k(u: &Matrix, sigmas: &[f32], vt: &Matrix) -> Matrix {
+    assert!(
+        sigmas.len() <= u.cols() && sigmas.len() <= vt.rows(),
+        "rank exceeds factor dimensions"
+    );
+    let m = u.rows();
+    let n = vt.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let u_row = u.row(i);
+        let out_row = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        for (k, &sigma) in sigmas.iter().enumerate() {
+            if sigma == 0.0 {
+                continue;
+            }
+            let ui = u_row[k] * sigma;
+            if ui == 0.0 {
+                continue;
+            }
+            let vt_row = &vt.as_slice()[k * n..(k + 1) * n];
+            for (o, &v) in out_row.iter_mut().zip(vt_row.iter()) {
+                *o += ui * v;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// The pre-kernel `ikj` reference loop, kept verbatim as the bit-identity
+    /// oracle.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        let n = b.cols();
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let aik = a.at(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = out.at(i, j) + aik * b.at(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        Matrix::random_normal(rows, cols, 0.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_across_shapes() {
+        for (m, k, n, seed) in [
+            (1, 1, 1, 1u64),
+            (3, 5, 7, 2),
+            (33, 65, 130, 3),
+            (64, 70, 513, 4),
+        ] {
+            let a = random(m, k, seed);
+            let b = random(k, n, seed + 100);
+            let blocked = matmul(&a, &b).unwrap();
+            let naive = naive_matmul(&a, &b);
+            assert_eq!(blocked.as_slice(), naive.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn pooled_matmul_is_bit_identical_for_every_worker_count() {
+        let a = random(130, 40, 5);
+        let b = random(40, 70, 6);
+        let serial = matmul(&a, &b).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let pooled = matmul_pooled(&a, &b, &JobPool::new(workers)).unwrap();
+            assert_eq!(pooled.as_slice(), serial.as_slice(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_matches_explicit_transpose_bitwise() {
+        let a = random(37, 50, 7);
+        let b = random(41, 50, 8);
+        let fast = matmul_transpose(&a, &b).unwrap();
+        // The naive oracle: independent row-dot-row accumulation.
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for (x, y) in a.row(i).iter().zip(b.row(j).iter()) {
+                    acc += x * y;
+                }
+                assert_eq!(fast.at(i, j).to_bits(), acc.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = random(3, 4, 9);
+        let b = random(3, 4, 10);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_pooled(&a, &b, &JobPool::serial()).is_err());
+        let c = random(3, 5, 11);
+        assert!(matmul_transpose(&a, &c).is_err());
+        assert!(matvec(&a, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn reconstruct_matches_rank_one_update_reference() {
+        let u = random(12, 5, 12);
+        let vt = random(5, 9, 13);
+        let sigmas = [3.0f32, 2.0, 0.0, 0.5, 0.25];
+        // Reference: the old k-outer rank-1-update loop.
+        let mut reference = Matrix::zeros(12, 9);
+        for (k, &sigma) in sigmas.iter().enumerate() {
+            if sigma == 0.0 {
+                continue;
+            }
+            for i in 0..12 {
+                let ui = u.at(i, k) * sigma;
+                if ui == 0.0 {
+                    continue;
+                }
+                for j in 0..9 {
+                    let v = reference.at(i, j) + ui * vt.at(k, j);
+                    reference.set(i, j, v);
+                }
+            }
+        }
+        let fused = reconstruct_rank_k(&u, &sigmas, &vt);
+        assert_eq!(fused.as_slice(), reference.as_slice());
+    }
+}

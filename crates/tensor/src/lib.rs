@@ -13,9 +13,15 @@
 //! * [`Matrix`] — a row-major dense `f32` matrix with the usual algebra
 //!   (GEMM, GEMV, transpose, element-wise maps) plus slicing helpers used by
 //!   the crossbar tiling code.
-//! * [`svd::Svd`] / [`svd::svd`] — one-sided Jacobi singular value
-//!   decomposition with truncation helpers, the core of the paper's
-//!   *gradient redistribution* technique (Section 4 of the paper).
+//! * [`kernels`] — the blocked/tiled GEMM, GEMV, and fused rank-k
+//!   reconstruction kernels every `Matrix` product routes through,
+//!   bit-identical to the naive reference loops, with pool-parallel
+//!   variants built on `hyflex-parallel`.
+//! * [`svd::Svd`] / [`svd::svd`] / [`svd::svd_with`] — one-sided Jacobi
+//!   singular value decomposition (the bit-stable default) and an opt-in
+//!   randomized subspace-iteration sketch ([`svd::SvdAlgorithm`]), with
+//!   truncation helpers — the core of the paper's *gradient redistribution*
+//!   technique (Section 4 of the paper).
 //! * [`quant`] — symmetric integer quantization (INT8 by default, arbitrary
 //!   bit-width for the bit-sliced RRAM mapping).
 //! * [`activations`] — numerically stable softmax / GELU / ReLU / layer norm
@@ -43,6 +49,7 @@
 
 pub mod activations;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod quant;
 pub mod rng;
@@ -50,9 +57,9 @@ pub mod stats;
 pub mod svd;
 
 pub use error::TensorError;
-pub use matrix::Matrix;
+pub use matrix::{ColumnIter, Matrix};
 pub use quant::QuantizedMatrix;
-pub use svd::Svd;
+pub use svd::{Svd, SvdAlgorithm};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

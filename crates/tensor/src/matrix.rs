@@ -232,8 +232,25 @@ impl Matrix {
     ///
     /// Panics if `col >= self.cols()`.
     pub fn column(&self, col: usize) -> Vec<f32> {
+        self.column_iter(col).collect()
+    }
+
+    /// Strided iterator over a single column, top to bottom.
+    ///
+    /// Unlike [`Matrix::column`] this allocates nothing, so hot loops (the
+    /// Jacobi SVD's Gram accumulations, the factored layers' per-rank
+    /// reductions) can walk columns without a fresh `Vec` per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn column_iter(&self, col: usize) -> ColumnIter<'_> {
         assert!(col < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.at(r, col)).collect()
+        ColumnIter {
+            data: &self.data,
+            pos: col,
+            stride: self.cols,
+        }
     }
 
     /// Returns the transpose.
@@ -249,88 +266,34 @@ impl Matrix {
 
     /// Matrix multiplication `self * other`.
     ///
+    /// Routed through the blocked kernel in [`crate::kernels`]; bit-identical
+    /// to the naive `ikj` reference loop (see the kernel docs).
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when the inner dimensions differ.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols != other.rows {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.shape(),
-                rhs: other.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // ikj loop order keeps the innermost access contiguous for both the
-        // output row and the `other` row, which matters for the larger
-        // transformer layers in the functional simulator.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, b) in out_row.iter_mut().zip(other_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        crate::kernels::matmul(self, other)
     }
 
     /// Matrix multiplication with the transpose of `other`: `self * otherᵀ`.
+    ///
+    /// Routed through the blocked kernel in [`crate::kernels`].
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `self.cols() != other.cols()`.
     pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix> {
-        if self.cols != other.cols {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_transpose",
-                lhs: self.shape(),
-                rhs: other.shape(),
-            });
-        }
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let lhs_row = self.row(i);
-            for j in 0..other.rows {
-                let rhs_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (a, b) in lhs_row.iter().zip(rhs_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
-        Ok(out)
+        crate::kernels::matmul_transpose(self, other)
     }
 
-    /// Matrix–vector product `self * v`.
+    /// Matrix–vector product `self * v` (see [`crate::kernels::matvec`]).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>> {
-        if v.len() != self.cols {
-            return Err(TensorError::ShapeMismatch {
-                op: "matvec",
-                lhs: self.shape(),
-                rhs: (v.len(), 1),
-            });
-        }
-        let mut out = vec![0.0f32; self.rows];
-        for (r, out_val) in out.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0f32;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += a * b;
-            }
-            *out_val = acc;
-        }
-        Ok(out)
+        crate::kernels::matvec(self, v)
     }
 
     /// Element-wise addition.
@@ -608,6 +571,37 @@ impl Matrix {
     }
 }
 
+/// Borrowing, allocation-free iterator over one matrix column
+/// (see [`Matrix::column_iter`]).
+#[derive(Debug, Clone)]
+pub struct ColumnIter<'a> {
+    data: &'a [f32],
+    pos: usize,
+    stride: usize,
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = f32;
+
+    #[inline]
+    fn next(&mut self) -> Option<f32> {
+        let value = *self.data.get(self.pos)?;
+        self.pos += self.stride;
+        Some(value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.pos < self.data.len() {
+            (self.data.len() - self.pos).div_ceil(self.stride)
+        } else {
+            0
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ColumnIter<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,6 +771,30 @@ mod tests {
         assert_eq!(m.column(2), vec![3.0, 6.0]);
         assert_eq!(m.get(5, 0), None);
         assert_eq!(m.get(1, 1), Some(5.0));
+    }
+
+    #[test]
+    fn column_iter_matches_column_copy() {
+        let m = sample();
+        for c in 0..m.cols() {
+            let iter = m.column_iter(c);
+            assert_eq!(iter.len(), m.rows());
+            assert_eq!(iter.collect::<Vec<f32>>(), m.column(c));
+        }
+        // Single-column and single-row shapes.
+        let tall = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        assert_eq!(
+            tall.column_iter(0).collect::<Vec<f32>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+        let wide = Matrix::from_rows(&[vec![7.0, 8.0, 9.0]]).unwrap();
+        assert_eq!(wide.column_iter(1).collect::<Vec<f32>>(), vec![8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn column_iter_rejects_out_of_range() {
+        let _ = sample().column_iter(3);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::layers::Linear;
 use crate::param::{AdamWConfig, Param};
 use crate::Result;
-use hyflex_tensor::svd::{self, hard_threshold_rank};
+use hyflex_tensor::svd::{self, hard_threshold_rank, SvdAlgorithm};
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -43,20 +43,44 @@ impl FactoredLinear {
         Self::from_weight(dense.weight(), rank)
     }
 
-    /// Factorizes an explicit `[in, out]` weight matrix at the given rank.
+    /// [`FactoredLinear::from_dense`] with an explicit SVD algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_dense_with(dense: &Linear, rank: usize, algorithm: SvdAlgorithm) -> Result<Self> {
+        Self::from_weight_with(dense.weight(), rank, algorithm)
+    }
+
+    /// Factorizes an explicit `[in, out]` weight matrix at the given rank
+    /// with the default (Jacobi) SVD.
     ///
     /// # Errors
     ///
     /// Propagates SVD failures.
     pub fn from_weight(weight: &Matrix, rank: usize) -> Result<Self> {
-        let decomposition = svd::svd(weight)?;
-        let full_rank = decomposition.rank();
+        Self::from_weight_with(weight, rank, SvdAlgorithm::Jacobi)
+    }
+
+    /// Factorizes an explicit `[in, out]` weight matrix at the given rank
+    /// with the selected SVD algorithm.
+    ///
+    /// With [`SvdAlgorithm::Jacobi`] this is the historical full-SVD +
+    /// truncate path, bit for bit. [`SvdAlgorithm::Randomized`] sketches
+    /// only the retained subspace, which is what makes truncated
+    /// factorization cheap for large layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_weight_with(weight: &Matrix, rank: usize, algorithm: SvdAlgorithm) -> Result<Self> {
+        let full_rank = weight.rows().min(weight.cols());
         let k = if rank == 0 {
             full_rank
         } else {
             rank.min(full_rank)
         };
-        let truncated = decomposition.truncate(k)?;
+        let truncated = svd::svd_with(weight, algorithm, k)?;
         let sigma_row = Matrix::from_vec(1, k, truncated.singular_values.to_vec())?;
         Ok(FactoredLinear {
             u: Param::new(truncated.u),
@@ -124,10 +148,10 @@ impl FactoredLinear {
     /// (Figure 10, step 3).
     pub fn sigma_vt(&self) -> Matrix {
         let mut out = self.vt.value().clone();
-        for k in 0..self.rank() {
-            let s = self.sigma.value().at(0, k);
-            for c in 0..out.cols() {
-                out.set(k, c, out.at(k, c) * s);
+        let sigma = self.sigma.value().row(0);
+        for (k, &s) in sigma.iter().enumerate() {
+            for value in out.row_mut(k) {
+                *value *= s;
             }
         }
         out
@@ -185,12 +209,17 @@ impl FactoredLinear {
         // dL/d(h ⊙ σ) = grad_out · V
         let d_scaled = grad_out.matmul(&self.vt.value().transpose())?; // [L, k]
 
-        // dL/dσ_r = Σ_l d_scaled[l, r] · h[l, r]
+        // dL/dσ_r = Σ_l d_scaled[l, r] · h[l, r], each rank reduced down its
+        // column with the allocation-free strided iterators. The
+        // accumulation order per rank is ascending row, exactly as the old
+        // row-outer element-wise loop produced it.
         let mut d_sigma = Matrix::zeros(1, self.rank());
-        for r in 0..h.rows() {
-            for k in 0..self.rank() {
-                d_sigma.set(0, k, d_sigma.at(0, k) + d_scaled.at(r, k) * h.at(r, k));
+        for (k, slot) in (0..self.rank()).zip(d_sigma.row_mut(0)) {
+            let mut acc = 0.0f32;
+            for (d, hv) in d_scaled.column_iter(k).zip(h.column_iter(k)) {
+                acc += d * hv;
             }
+            *slot = acc;
         }
         self.sigma.accumulate_grad(&d_sigma);
 
@@ -201,11 +230,12 @@ impl FactoredLinear {
         let d_u = x.transpose().matmul(&d_h)?;
         self.u.accumulate_grad(&d_u);
 
-        // Bias gradient: column sums of grad_out.
+        // Bias gradient: column sums of grad_out, one contiguous row at a
+        // time (same ascending-row accumulation per column as before).
         let mut d_bias = Matrix::zeros(1, grad_out.cols());
         for r in 0..grad_out.rows() {
-            for c in 0..grad_out.cols() {
-                d_bias.set(0, c, d_bias.at(0, c) + grad_out.at(r, c));
+            for (slot, g) in d_bias.row_mut(0).iter_mut().zip(grad_out.row(r)) {
+                *slot += g;
             }
         }
         self.bias.accumulate_grad(&d_bias);
@@ -240,9 +270,10 @@ impl FactoredLinear {
 
     fn scale_by_sigma(&self, h: &Matrix) -> Matrix {
         let mut out = h.clone();
-        for r in 0..h.rows() {
-            for k in 0..self.rank() {
-                out.set(r, k, h.at(r, k) * self.sigma.value().at(0, k));
+        let sigma = self.sigma.value();
+        for r in 0..out.rows() {
+            for (value, &s) in out.row_mut(r).iter_mut().zip(sigma.row(0)) {
+                *value *= s;
             }
         }
         out

@@ -187,7 +187,8 @@ impl AnyLinear {
         }
     }
 
-    /// Converts a dense layer into its hard-threshold factored form in place.
+    /// Converts a dense layer into its hard-threshold factored form in place
+    /// with the default (Jacobi) SVD.
     ///
     /// No-op if the layer is already factored.
     ///
@@ -195,8 +196,23 @@ impl AnyLinear {
     ///
     /// Propagates SVD errors.
     pub fn factorize(&mut self, rank: usize) -> Result<()> {
+        self.factorize_with(rank, hyflex_tensor::SvdAlgorithm::Jacobi)
+    }
+
+    /// [`AnyLinear::factorize`] with an explicit SVD algorithm (the
+    /// gradient-redistribution pipeline threads its configured
+    /// [`hyflex_tensor::SvdAlgorithm`] through here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD errors.
+    pub fn factorize_with(
+        &mut self,
+        rank: usize,
+        algorithm: hyflex_tensor::SvdAlgorithm,
+    ) -> Result<()> {
         if let AnyLinear::Dense(l) = self {
-            let factored = FactoredLinear::from_dense(l, rank)?;
+            let factored = FactoredLinear::from_dense_with(l, rank, algorithm)?;
             *self = AnyLinear::Factored(factored);
         }
         Ok(())

@@ -1,12 +1,14 @@
 //! Property-based tests of core invariants, using proptest.
 
+use hyflex_parallel::JobPool;
 use hyflex_pim::selection::{self, SelectionStrategy};
 use hyflex_rram::cell::CellMode;
 use hyflex_rram::noise::{ber_from_sigma, sigma_from_ber};
 use hyflex_tensor::activations::softmax;
 use hyflex_tensor::quant::QuantizedMatrix;
 use hyflex_tensor::rng::Rng;
-use hyflex_tensor::{svd, Matrix};
+use hyflex_tensor::svd::hard_threshold_rank;
+use hyflex_tensor::{kernels, svd, Matrix, SvdAlgorithm};
 use proptest::prelude::*;
 
 fn arbitrary_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -73,6 +75,67 @@ proptest! {
             let back = ber_from_sigma(sigma, mode);
             prop_assert!((back - ber).abs() < 1e-3);
         }
+    }
+
+    /// SVD invariants hold for both algorithms at the hard-threshold rank:
+    /// singular values are non-negative and non-increasing, U/V columns are
+    /// orthonormal within tolerance, and the randomized sketch's
+    /// reconstruction error never beats Jacobi's by more than float noise —
+    /// nor trails it by more than the acceptance margin.
+    #[test]
+    fn svd_invariants_hold_for_both_algorithms(m in arbitrary_matrix(16)) {
+        let k = hard_threshold_rank(m.rows(), m.cols());
+        let exact = svd::svd_with(&m, SvdAlgorithm::Jacobi, k).unwrap();
+        let exact_err = m.relative_error(&exact.reconstruct()).unwrap();
+        for algo in [SvdAlgorithm::Jacobi, SvdAlgorithm::Randomized] {
+            let d = svd::svd_with(&m, algo, k).unwrap();
+            prop_assert_eq!(d.rank(), k);
+            for pair in d.singular_values.windows(2) {
+                prop_assert!(pair[0] >= pair[1] - 1e-5, "{}: {:?}", algo, pair);
+            }
+            prop_assert!(d.singular_values.iter().all(|s| *s >= 0.0));
+            let utu = d.u.transpose().matmul(&d.u).unwrap();
+            prop_assert!(utu.approx_eq(&Matrix::identity(k), 1e-2), "{}: UᵀU ≉ I", algo);
+            let vvt = d.vt.matmul(&d.vt.transpose()).unwrap();
+            prop_assert!(vvt.approx_eq(&Matrix::identity(k), 1e-2), "{}: VᵀV ≉ I", algo);
+            let err = m.relative_error(&d.reconstruct()).unwrap();
+            prop_assert!(
+                err <= exact_err + 5e-2,
+                "{}: err {} vs jacobi {}",
+                algo, err, exact_err
+            );
+        }
+    }
+
+    /// The blocked kernels are bit-identical to the naive reference loops,
+    /// and the pooled GEMM is bit-identical for every worker count.
+    #[test]
+    fn kernel_matmul_is_bit_identical_to_naive(seed in any::<u64>(), workers in 1usize..5) {
+        let mut rng = Rng::seed_from(seed);
+        let m = 1 + (seed % 40) as usize;
+        let k = 1 + ((seed >> 8) % 40) as usize;
+        let n = 1 + ((seed >> 16) % 40) as usize;
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(k, n, 0.0, 1.0, &mut rng);
+        // Naive ikj reference with the zero-skip, exactly as `Matrix::matmul`
+        // computed it before the kernel layer.
+        let mut naive = Matrix::zeros(m, n);
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a.at(i, kk);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = naive.at(i, j) + aik * b.at(kk, j);
+                    naive.set(i, j, v);
+                }
+            }
+        }
+        let blocked = a.matmul(&b).unwrap();
+        prop_assert_eq!(blocked.as_slice(), naive.as_slice());
+        let pooled = kernels::matmul_pooled(&a, &b, &JobPool::new(workers)).unwrap();
+        prop_assert_eq!(pooled.as_slice(), naive.as_slice());
     }
 
     /// The matrix product is associative within floating-point tolerance.
