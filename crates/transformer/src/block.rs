@@ -18,6 +18,20 @@ pub struct TransformerBlock {
     ffn: FeedForward,
 }
 
+/// Generates the `&`/`&mut` pair of six-layer accessors from one body, so
+/// the ordering contract (`[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`) lives in
+/// exactly one place.
+macro_rules! impl_static_linears {
+    ($(#[$doc:meta])* $fn_name:ident, $projections:ident, $layers:ident, $($mut_:tt)?) => {
+        $(#[$doc])*
+        pub fn $fn_name(& $($mut_)? self) -> Vec<& $($mut_)? AnyLinear> {
+            let [wq, wk, wv, wo] = self.attention.$projections();
+            let [fc1, fc2] = self.ffn.$layers();
+            vec![wq, wk, wv, wo, fc1, fc2]
+        }
+    };
+}
+
 impl TransformerBlock {
     /// Creates a block with the given hidden size, FFN size, and head count.
     ///
@@ -48,20 +62,15 @@ impl TransformerBlock {
         &self.ffn
     }
 
-    /// All six static linear layers of the block, in the paper's order:
-    /// `[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`.
-    pub fn static_linears_mut(&mut self) -> Vec<&mut AnyLinear> {
-        let [wq, wk, wv, wo] = self.attention.projections_mut();
-        let [fc1, fc2] = self.ffn.layers_mut();
-        vec![wq, wk, wv, wo, fc1, fc2]
-    }
-
-    /// Immutable view of the six static linear layers.
-    pub fn static_linears(&self) -> Vec<&AnyLinear> {
-        let [wq, wk, wv, wo] = self.attention.projections();
-        let [fc1, fc2] = self.ffn.layers();
-        vec![wq, wk, wv, wo, fc1, fc2]
-    }
+    impl_static_linears!(
+        /// All six static linear layers of the block, in the paper's order:
+        /// `[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`.
+        static_linears_mut, projections_mut, layers_mut, mut
+    );
+    impl_static_linears!(
+        /// Immutable view of the six static linear layers.
+        static_linears, projections, layers,
+    );
 
     /// Forward pass over a `[L, dim]` matrix.
     ///

@@ -45,6 +45,18 @@ pub struct TransformerModel {
     head: Linear,
 }
 
+/// Generates the `&`/`&mut` pair of whole-model static-linear accessors from
+/// one body (the per-block ordering contract lives on
+/// [`TransformerBlock::static_linears`]).
+macro_rules! impl_model_static_linears {
+    ($(#[$doc:meta])* $fn_name:ident, $iter:ident, $($mut_:tt)?) => {
+        $(#[$doc])*
+        pub fn $fn_name(& $($mut_)? self) -> Vec<& $($mut_)? AnyLinear> {
+            self.blocks.$iter().flat_map(|b| b.$fn_name()).collect()
+        }
+    };
+}
+
 impl TransformerModel {
     /// Builds a randomly initialized model from a configuration.
     ///
@@ -96,25 +108,19 @@ impl TransformerModel {
         &self.blocks
     }
 
-    /// Mutable access to every static linear layer of every block, in
-    /// `(layer_index, [W_Q, W_K, W_V, W_proj, FFN1, FFN2])` order, flattened.
-    ///
-    /// This is the hook the gradient-redistribution pipeline uses to
-    /// factorize layers and to inject hardware noise.
-    pub fn static_linears_mut(&mut self) -> Vec<&mut AnyLinear> {
-        self.blocks
-            .iter_mut()
-            .flat_map(|b| b.static_linears_mut())
-            .collect()
-    }
-
-    /// Immutable access to every static linear layer.
-    pub fn static_linears(&self) -> Vec<&AnyLinear> {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.static_linears())
-            .collect()
-    }
+    impl_model_static_linears!(
+        /// Mutable access to every static linear layer of every block, in
+        /// `(layer_index, [W_Q, W_K, W_V, W_proj, FFN1, FFN2])` order,
+        /// flattened.
+        ///
+        /// This is the hook the gradient-redistribution pipeline uses to
+        /// factorize layers and to inject hardware noise.
+        static_linears_mut, iter_mut, mut
+    );
+    impl_model_static_linears!(
+        /// Immutable access to every static linear layer.
+        static_linears, iter,
+    );
 
     /// Total scalar parameter count.
     pub fn parameter_count(&self) -> usize {
