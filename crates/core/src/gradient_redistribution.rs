@@ -24,7 +24,7 @@ use hyflex_tensor::svd::hard_threshold_rank;
 pub use hyflex_tensor::svd::SvdAlgorithm;
 use hyflex_transformer::layers::AnyLinear;
 use hyflex_transformer::trainer::{EvalReport, Sample};
-use hyflex_transformer::{Trainer, TransformerModel};
+use hyflex_transformer::{ParamVisit, Trainer, TransformerModel};
 use serde::{Deserialize, Serialize};
 
 /// How aggressively to truncate each layer's SVD.
@@ -53,8 +53,11 @@ impl TruncationPolicy {
 /// Gradient profile of one factored layer after redistribution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerGradientProfile {
-    /// Index of the layer in [`TransformerModel::static_linears`] order.
+    /// Index of the layer in [`TransformerModel::named_linears`] order.
     pub layer_index: usize,
+    /// Dotted parameter scope of the layer (`blocks.N.attn.q_proj`, ...,
+    /// `blocks.N.ffn.fc2`), from the model's named parameter surface.
+    pub name: String,
     /// Retained rank.
     pub rank: usize,
     /// Singular values after fine-tuning.
@@ -147,7 +150,7 @@ impl GradientRedistribution {
     /// Propagates SVD failures.
     pub fn factorize_model(&self, model: &mut TransformerModel) -> Result<Vec<usize>> {
         let mut ranks = Vec::new();
-        for layer in model.static_linears_mut() {
+        for (_name, layer) in model.named_linears_mut() {
             let rank = self.truncation.rank_for(layer.in_dim(), layer.out_dim());
             layer
                 .factorize_with(rank, self.svd_algorithm)
@@ -214,17 +217,18 @@ impl GradientRedistribution {
             .accumulate_gradients(model, train)
             .map_err(PimError::from)?;
         let mut profiles = Vec::new();
-        for (layer_index, layer) in model.static_linears().into_iter().enumerate() {
+        for (layer_index, (name, layer)) in model.named_linears().into_iter().enumerate() {
             match layer {
                 AnyLinear::Factored(f) => profiles.push(LayerGradientProfile {
                     layer_index,
+                    name,
                     rank: f.rank(),
                     singular_values: f.singular_values(),
                     sigma_gradients: f.sigma_gradients(),
                 }),
                 AnyLinear::Dense(_) => {
                     return Err(PimError::InvalidConfig(format!(
-                        "static layer {layer_index} is still dense; factorize the model first"
+                        "static layer {name} is still dense; factorize the model first"
                     )))
                 }
             }
@@ -251,8 +255,8 @@ impl GradientRedistribution {
         self.trainer
             .accumulate_gradients(model, train)
             .map_err(PimError::from)?;
-        let layers = model.static_linears();
-        let layer = layers.get(layer_index).ok_or_else(|| {
+        let layers = model.named_linears();
+        let (_name, layer) = layers.get(layer_index).ok_or_else(|| {
             PimError::InvalidConfig(format!("layer index {layer_index} out of range"))
         })?;
         let profile = match layer {
@@ -318,9 +322,9 @@ mod tests {
         assert_eq!(ranks[0], 16);
         assert_eq!(ranks[4], hard_threshold_rank(32, 64));
         assert!(model
-            .static_linears()
+            .named_linears()
             .iter()
-            .all(|l| matches!(l, AnyLinear::Factored(_))));
+            .all(|(_, l)| matches!(l, AnyLinear::Factored(_))));
     }
 
     #[test]
@@ -352,8 +356,11 @@ mod tests {
             report.finetune_losses
         );
 
-        // Profiles exist for every layer and have matching lengths.
+        // Profiles exist for every layer, carry the model's dotted scope
+        // names, and have matching lengths.
         assert_eq!(report.layer_profiles.len(), 12);
+        assert_eq!(report.layer_profiles[0].name, "blocks.0.attn.q_proj");
+        assert_eq!(report.layer_profiles[11].name, "blocks.1.ffn.fc2");
         for p in &report.layer_profiles {
             assert_eq!(p.singular_values.len(), p.rank);
             assert_eq!(p.sigma_gradients.len(), p.rank);
@@ -375,7 +382,7 @@ mod tests {
         // within 1e-3 relative reconstruction error of the exact Jacobi
         // factorization for every static layer (the acceptance bound).
         let (model, _dataset, trainer) = trained_tiny_model(6);
-        for layer in model.static_linears() {
+        for (_, layer) in model.named_linears() {
             let weight = match layer {
                 AnyLinear::Dense(d) => d.weight().clone(),
                 AnyLinear::Factored(_) => unreachable!("the trained model is dense"),
@@ -460,6 +467,7 @@ mod tests {
     fn concentration_helper_behaviour() {
         let profile = LayerGradientProfile {
             layer_index: 0,
+            name: "blocks.0.attn.q_proj".to_string(),
             rank: 4,
             singular_values: vec![4.0, 3.0, 2.0, 1.0],
             sigma_gradients: vec![10.0, 0.1, 0.1, 0.1],
@@ -468,6 +476,7 @@ mod tests {
         assert!((profile.gradient_concentration(1.0) - 1.0).abs() < 1e-12);
         let empty = LayerGradientProfile {
             layer_index: 0,
+            name: "blocks.0.attn.k_proj".to_string(),
             rank: 0,
             singular_values: vec![],
             sigma_gradients: vec![],

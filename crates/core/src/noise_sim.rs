@@ -172,7 +172,7 @@ impl NoiseSimulator {
     ) -> Result<NoiseStats> {
         spec.mlc_mode.validate().map_err(PimError::from)?;
         let mut stats = NoiseStats::default();
-        for (layer_index, layer) in model.static_linears_mut().into_iter().enumerate() {
+        for (layer_index, (name, layer)) in model.named_linears_mut().into_iter().enumerate() {
             match layer {
                 AnyLinear::Factored(f) => {
                     let protected = match spec.strategy {
@@ -182,6 +182,7 @@ impl NoiseSimulator {
                             // using a synthetic profile.
                             let profile = LayerGradientProfile {
                                 layer_index,
+                                name: name.clone(),
                                 rank: f.rank(),
                                 singular_values: f.singular_values(),
                                 sigma_gradients: vec![0.0; f.rank()],

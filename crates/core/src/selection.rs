@@ -143,6 +143,7 @@ mod tests {
     fn profile() -> LayerGradientProfile {
         LayerGradientProfile {
             layer_index: 0,
+            name: "blocks.0.attn.q_proj".to_string(),
             rank: 10,
             // Singular values decay monotonically...
             singular_values: (0..10).map(|i| 10.0 - i as f32).collect(),

@@ -94,6 +94,30 @@ impl Batch {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Tokens actually present across the batch's requests.
+    pub fn actual_token_count(&self) -> usize {
+        self.requests.iter().map(|r| r.seq_len).sum()
+    }
+
+    /// Tokens the padded execution shape processes: every request padded to
+    /// the batch's longest sequence.
+    pub fn padded_token_count(&self) -> usize {
+        self.len() * self.max_seq_len
+    }
+
+    /// Fraction of the padded execution shape that is padding (`0.0` for a
+    /// uniform or empty batch). The functional model's packed batching
+    /// (`AttentionMask::Packed` in `hyflex-transformer`) executes exactly
+    /// [`Batch::actual_token_count`] rows instead, so this is the token
+    /// fraction packing recovers.
+    pub fn padding_waste(&self) -> f64 {
+        let padded = self.padded_token_count();
+        if padded == 0 {
+            return 0.0;
+        }
+        1.0 - self.actual_token_count() as f64 / padded as f64
+    }
 }
 
 /// FCFS batch former bounded by batch size and the backend's tile capacity.
@@ -417,6 +441,27 @@ mod tests {
         }
         assert_eq!(drained, 64);
         assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn padding_waste_accounts_for_mixed_lengths() {
+        let mut s = scheduler(4, 2);
+        for (id, seq) in [64usize, 128, 256, 64].into_iter().enumerate() {
+            s.submit(request(id as u64, seq)).unwrap();
+        }
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.actual_token_count(), 64 + 128 + 256 + 64);
+        assert_eq!(batch.padded_token_count(), 4 * 256);
+        let expected = 1.0 - 512.0 / 1024.0;
+        assert!((batch.padding_waste() - expected).abs() < 1e-12);
+
+        // A uniform batch wastes nothing.
+        let mut s = scheduler(2, 1);
+        s.submit(request(0, 128)).unwrap();
+        s.submit(request(1, 128)).unwrap();
+        let batch = s.next_batch().unwrap();
+        assert_eq!(batch.padding_waste(), 0.0);
     }
 
     #[test]

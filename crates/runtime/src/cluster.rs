@@ -1,14 +1,14 @@
 //! Multi-chip serving: N backend replicas behind a dispatcher.
 //!
-//! [`ClusterSim`] extends the single-device [`ServingSim`](crate::serving::ServingSim)
+//! [`ClusterSim`] extends the single-device [`ServingSim`]
 //! to a fleet of identical chips. One Poisson arrival stream (with the same
 //! heterogeneous request mix and SLO semantics as the single-chip run) is
 //! routed to chips by a [`DispatchPolicy`] — round-robin or
 //! join-shortest-queue — and every chip runs its own
-//! [`BatchScheduler`](crate::batch::BatchScheduler) with the configured
+//! [`BatchScheduler`] with the configured
 //! batching window and [`SchedulingPolicy`](crate::policy::SchedulingPolicy).
 //!
-//! Both simulators share one discrete-event engine ([`run_engine`]), so the
+//! Both simulators share one discrete-event engine (`run_engine`), so the
 //! batching-window semantics are identical everywhere:
 //!
 //! * the window deadline is anchored at the **oldest queued arrival**

@@ -4,7 +4,7 @@
 //! Where `hyflex-pim` models one inference at a time, this crate models and
 //! drives **production-shaped** execution:
 //!
-//! * [`pool`] — [`JobPool`](pool::JobPool): a scoped `std::thread` worker
+//! * [`pool`] — [`JobPool`]: a scoped `std::thread` worker
 //!   pool with a shared job queue and an order-preserving `par_map`, used by
 //!   the noise-accuracy sweeps and the figure binaries to parallelize
 //!   seed × SLC-rate × evaluation-point grids without changing results. The
@@ -14,22 +14,22 @@
 //! * [`sweep`] — parallel drivers for `NoiseSimulator` and
 //!   `PerformanceModel` sweeps, bit-identical to the serial entry points in
 //!   `hyflex-pim`.
-//! * [`batch`] — [`BatchScheduler`](batch::BatchScheduler): batching of
-//!   [`InferenceRequest`](batch::InferenceRequest)s bounded by the tile
+//! * [`batch`] — [`BatchScheduler`]: batching of
+//!   [`InferenceRequest`]s bounded by the tile
 //!   capacity the serving backend reports, admitted in
 //!   [`policy`] order (FCFS, earliest-deadline-first, or strict priority).
-//! * [`serving`] — [`ServingSim`](serving::ServingSim): a closed-loop
+//! * [`serving`] — [`ServingSim`]: a closed-loop
 //!   serving simulator with Poisson arrivals — homogeneous or a weighted
-//!   [`RequestClass`](serving::RequestClass) mix with per-class SLOs —
+//!   [`RequestClass`] mix with per-class SLOs —
 //!   reporting throughput, utilization, p50/p95/p99 latency, and SLO
 //!   attainment (see `examples/serving_sim.rs` and the
 //!   `fig18_batch_throughput` binary).
-//! * [`cluster`] — [`ClusterSim`](cluster::ClusterSim): the same engine
+//! * [`cluster`] — [`ClusterSim`]: the same engine
 //!   over N backend replicas behind a round-robin or join-shortest-queue
 //!   dispatcher (`fig20_serving_policies`, `examples/cluster_serving.rs`).
 //!
 //! The whole execution layer is **backend-generic**: the scheduler, the
-//! serving simulators, and [`par_backend_eval`](sweep::par_backend_eval)
+//! serving simulators, and [`par_backend_eval`]
 //! consume any `hyflex_pim::Backend` ([`HyFlexPim`] or the baselines from
 //! `hyflex-baselines`), so one workload drives interchangeable device models
 //! (`fig19_backend_serving`). The HyFlexPIM path stays bit-identical to the

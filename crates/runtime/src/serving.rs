@@ -8,7 +8,7 @@
 //! [`ServingConfig::seq_len`]) or a heterogeneous mix of
 //! [`RequestClass`]es — per-request sequence lengths, SLOs, and priority
 //! classes drawn from a seeded, deterministic weighted distribution.
-//! Requests queue in a [`BatchScheduler`](crate::batch::BatchScheduler) under the configured
+//! Requests queue in a [`BatchScheduler`] under the configured
 //! [`SchedulingPolicy`](crate::policy::SchedulingPolicy); batches launch under the batching-window
 //! semantics documented on [`SchedulerConfig::max_wait_ns`], occupy the
 //! device for their modeled makespan, and every request completes at its

@@ -28,10 +28,10 @@
 //! ## Non-convergence handling
 //!
 //! One-sided Jacobi converges extremely reliably for finite inputs: the
-//! sweep loop stops as soon as every column-pair cosine falls below [`EPS`].
+//! sweep loop stops as soon as every column-pair cosine falls below `EPS`.
 //! Because the working copy stores `f32`, pathological matrices can plateau
 //! slightly above `EPS` without being meaningfully non-orthogonal; after
-//! [`MAX_SWEEPS`] sweeps the decomposition **accepts that plateau** (the
+//! `MAX_SWEEPS` sweeps the decomposition **accepts that plateau** (the
 //! columns are orthogonal to working precision, so the factors are still
 //! valid) rather than erroring — this accepted-result fallback is part of
 //! the API contract and is exercised by the tests. Only genuinely broken

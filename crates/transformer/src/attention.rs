@@ -8,13 +8,103 @@
 //! its costs live in `hyflex-pim`.
 
 use crate::error::ModelError;
-use crate::layers::{AnyLinear, Linear};
-use crate::param::AdamWConfig;
+use crate::layers::{AnyLinear, Layer, LayerCtx, Linear};
+use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
 use hyflex_tensor::activations::{softmax, softmax_backward};
 use hyflex_tensor::rng::Rng;
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Attention masking policy for one forward/backward pass.
+///
+/// The packed variant is what makes mixed-length batching exact: several
+/// requests share one activation matrix (their rows concatenated), and the
+/// mask keeps every request blind to the others, so each row's scores,
+/// softmax, and context are bit-identical to running that request alone
+/// (out-of-segment lanes contribute `exp(-inf) = +0.0` to the softmax sums
+/// and exact zero probabilities to the context product).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum AttentionMask<'a> {
+    /// Every position attends to every position.
+    #[default]
+    Bidirectional,
+    /// Position `i` attends only to positions `<= i` (decoder behaviour).
+    Causal,
+    /// Packed mixed-length batch: `segments[k]` is the contiguous row range
+    /// of request `k`, and attention never crosses a segment boundary.
+    /// `causal` additionally applies the causal rule *within* each segment.
+    Packed {
+        /// Per-request row ranges; together they must cover every row.
+        segments: &'a [Range<usize>],
+        /// Apply causal masking within each segment.
+        causal: bool,
+    },
+}
+
+impl AttentionMask<'_> {
+    /// Whether query row `r` may attend to key column `c`.
+    pub fn allows(&self, r: usize, c: usize) -> bool {
+        match self {
+            AttentionMask::Bidirectional => true,
+            AttentionMask::Causal => c <= r,
+            AttentionMask::Packed { segments, causal } => segments
+                .iter()
+                .any(|s| s.contains(&r) && s.contains(&c) && (!causal || c <= r)),
+        }
+    }
+}
+
+/// Sets disallowed score lanes to `-inf` so the row-wise softmax assigns them
+/// exactly zero probability.
+fn apply_mask(scores: &mut Matrix, mask: &AttentionMask) {
+    match mask {
+        AttentionMask::Bidirectional => {}
+        AttentionMask::Causal => {
+            let n = scores.rows();
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    scores.set(r, c, f32::NEG_INFINITY);
+                }
+            }
+        }
+        AttentionMask::Packed { .. } => {
+            for r in 0..scores.rows() {
+                for c in 0..scores.cols() {
+                    if !mask.allows(r, c) {
+                        scores.set(r, c, f32::NEG_INFINITY);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Zeroes score gradients on masked lanes (their probabilities are constant
+/// zero, so no gradient flows through them).
+fn zero_masked_grads(d_scores: &mut Matrix, mask: &AttentionMask) {
+    match mask {
+        AttentionMask::Bidirectional => {}
+        AttentionMask::Causal => {
+            let n = d_scores.rows();
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    d_scores.set(r, c, 0.0);
+                }
+            }
+        }
+        AttentionMask::Packed { .. } => {
+            for r in 0..d_scores.rows() {
+                for c in 0..d_scores.cols() {
+                    if !mask.allows(r, c) {
+                        d_scores.set(r, c, 0.0);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Multi-head self-attention layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,17 +167,33 @@ impl MultiHeadAttention {
     /// Forward pass over a `[L, dim]` activation matrix.
     ///
     /// `causal` masks attention to positions `> i` (decoder behaviour).
+    /// Shorthand for [`MultiHeadAttention::forward_masked`] with
+    /// [`AttentionMask::Causal`] or [`AttentionMask::Bidirectional`].
     ///
     /// # Errors
     ///
     /// Returns shape errors from the projections.
     pub fn forward(&self, x: &Matrix, causal: bool) -> Result<Matrix> {
+        let mask = if causal {
+            AttentionMask::Causal
+        } else {
+            AttentionMask::Bidirectional
+        };
+        self.forward_masked(x, &mask)
+    }
+
+    /// Forward pass under an explicit [`AttentionMask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the projections.
+    pub fn forward_masked(&self, x: &Matrix, mask: &AttentionMask) -> Result<Matrix> {
         let (q, k, v) = (
             self.wq.forward(x)?,
             self.wk.forward(x)?,
             self.wv.forward(x)?,
         );
-        let context = self.attend(&q, &k, &v, causal)?;
+        let context = self.attend(&q, &k, &v, mask)?;
         self.wo.forward(&context)
     }
 
@@ -97,7 +203,7 @@ impl MultiHeadAttention {
             .expect("head slice within projection output")
     }
 
-    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix, causal: bool) -> Result<Matrix> {
+    fn attend(&self, q: &Matrix, k: &Matrix, v: &Matrix, mask: &AttentionMask) -> Result<Matrix> {
         let len = q.rows();
         let hd = self.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
@@ -107,9 +213,7 @@ impl MultiHeadAttention {
             let kh = self.head_slice(k, head);
             let vh = self.head_slice(v, head);
             let mut scores = qh.matmul_transpose(&kh)?.scale(scale);
-            if causal {
-                apply_causal_mask(&mut scores);
-            }
+            apply_mask(&mut scores, mask);
             let mut probs = Matrix::zeros(len, len);
             for r in 0..len {
                 probs.row_mut(r).copy_from_slice(&softmax(scores.row(r)));
@@ -122,13 +226,35 @@ impl MultiHeadAttention {
 
     /// Backward pass: accumulates projection gradients and returns `dL/dx`.
     ///
+    /// Shorthand for [`MultiHeadAttention::backward_masked`] with
+    /// [`AttentionMask::Causal`] or [`AttentionMask::Bidirectional`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the projections.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix, causal: bool) -> Result<Matrix> {
+        let mask = if causal {
+            AttentionMask::Causal
+        } else {
+            AttentionMask::Bidirectional
+        };
+        self.backward_masked(x, grad_out, &mask)
+    }
+
+    /// Backward pass under an explicit [`AttentionMask`].
+    ///
     /// The forward intermediates are recomputed internally, so the caller only
     /// supplies the original input.
     ///
     /// # Errors
     ///
     /// Returns shape errors from the projections.
-    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix, causal: bool) -> Result<Matrix> {
+    pub fn backward_masked(
+        &mut self,
+        x: &Matrix,
+        grad_out: &Matrix,
+        mask: &AttentionMask,
+    ) -> Result<Matrix> {
         let len = x.rows();
         let hd = self.head_dim();
         let scale = 1.0 / (hd as f32).sqrt();
@@ -136,7 +262,7 @@ impl MultiHeadAttention {
         let q = self.wq.forward(x)?;
         let k = self.wk.forward(x)?;
         let v = self.wv.forward(x)?;
-        let context = self.attend(&q, &k, &v, causal)?;
+        let context = self.attend(&q, &k, &v, mask)?;
 
         // Through the output projection.
         let d_context = self.wo.backward(&context, grad_out)?;
@@ -152,9 +278,7 @@ impl MultiHeadAttention {
             let d_ctx_h = self.head_slice(&d_context, head);
 
             let mut scores = qh.matmul_transpose(&kh)?.scale(scale);
-            if causal {
-                apply_causal_mask(&mut scores);
-            }
+            apply_mask(&mut scores, mask);
             let mut probs = Matrix::zeros(len, len);
             for r in 0..len {
                 probs.row_mut(r).copy_from_slice(&softmax(scores.row(r)));
@@ -170,9 +294,7 @@ impl MultiHeadAttention {
                 let ds = softmax_backward(probs.row(r), d_probs.row(r));
                 d_scores.row_mut(r).copy_from_slice(&ds);
             }
-            if causal {
-                zero_masked_grads(&mut d_scores);
-            }
+            zero_masked_grads(&mut d_scores, mask);
             let d_scores = d_scores.scale(scale);
 
             // d_qh = d_scores · kh ; d_kh = d_scoresᵀ · qh
@@ -192,53 +314,42 @@ impl MultiHeadAttention {
         dx.add_assign(&dx_v)?;
         Ok(dx)
     }
+}
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.wq.zero_grad();
-        self.wk.zero_grad();
-        self.wv.zero_grad();
-        self.wo.zero_grad();
+impl ParamVisit for MultiHeadAttention {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        path.scope("q_proj", |p| self.wq.visit_params(p, f));
+        path.scope("k_proj", |p| self.wk.visit_params(p, f));
+        path.scope("v_proj", |p| self.wv.visit_params(p, f));
+        path.scope("out_proj", |p| self.wo.visit_params(p, f));
     }
 
-    /// Applies one AdamW step to every projection.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.wq.step(config, batch_size);
-        self.wk.step(config, batch_size);
-        self.wv.step(config, batch_size);
-        self.wo.step(config, batch_size);
-    }
-
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        self.wq.parameter_count()
-            + self.wk.parameter_count()
-            + self.wv.parameter_count()
-            + self.wo.parameter_count()
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        path.scope("q_proj", |p| self.wq.visit_params_mut(p, f));
+        path.scope("k_proj", |p| self.wk.visit_params_mut(p, f));
+        path.scope("v_proj", |p| self.wv.visit_params_mut(p, f));
+        path.scope("out_proj", |p| self.wo.visit_params_mut(p, f));
     }
 }
 
-fn apply_causal_mask(scores: &mut Matrix) {
-    let n = scores.rows();
-    for r in 0..n {
-        for c in (r + 1)..n {
-            scores.set(r, c, f32::NEG_INFINITY);
-        }
+impl Layer for MultiHeadAttention {
+    fn forward(&self, x: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        self.forward_masked(x, &ctx.mask)
     }
-}
 
-fn zero_masked_grads(d_scores: &mut Matrix) {
-    let n = d_scores.rows();
-    for r in 0..n {
-        for c in (r + 1)..n {
-            d_scores.set(r, c, 0.0);
-        }
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        self.backward_masked(x, grad_out, &ctx.mask)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::AdamWConfig;
 
     fn make(dim: usize, heads: usize, seed: u64) -> MultiHeadAttention {
         let mut rng = Rng::seed_from(seed);

@@ -1,35 +1,43 @@
-//! A pre-norm transformer block: attention and FFN with residual connections.
+//! A pre-norm transformer block: two [`Residual`] halves (attention, FFN).
 
-use crate::attention::MultiHeadAttention;
+use crate::attention::{AttentionMask, MultiHeadAttention};
 use crate::ffn::FeedForward;
-use crate::layers::{AnyLinear, LayerNorm};
-use crate::param::AdamWConfig;
+use crate::layers::{AnyLinear, Layer, LayerCtx, LayerNorm, Residual};
+use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
 use hyflex_tensor::rng::Rng;
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
-/// One transformer block: `x + Attn(LN(x))` followed by `h + FFN(LN(h))`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TransformerBlock {
-    ln1: LayerNorm,
-    attention: MultiHeadAttention,
-    ln2: LayerNorm,
-    ffn: FeedForward,
-}
-
-/// Generates the `&`/`&mut` pair of six-layer accessors from one body, so
-/// the ordering contract (`[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`) lives in
-/// exactly one place.
-macro_rules! impl_static_linears {
-    ($(#[$doc:meta])* $fn_name:ident, $projections:ident, $layers:ident, $($mut_:tt)?) => {
+/// Generates a named static-linear accessor from the single canonical
+/// definition of the paper's layer order (`[W_Q, W_K, W_V, W_proj, FFN1,
+/// FFN2]`), tagged with the block-relative parameter scopes. The `&` and
+/// `&mut` variants are two expansions of the same body, so the list can no
+/// longer be edited in one place and forgotten in the other.
+macro_rules! impl_block_named_linears {
+    ($(#[$doc:meta])* $fn_name:ident, $inner:ident, $projections:ident, $layers:ident, $($mut_:tt)?) => {
         $(#[$doc])*
-        pub fn $fn_name(& $($mut_)? self) -> Vec<& $($mut_)? AnyLinear> {
-            let [wq, wk, wv, wo] = self.attention.$projections();
-            let [fc1, fc2] = self.ffn.$layers();
-            vec![wq, wk, wv, wo, fc1, fc2]
+        pub fn $fn_name(& $($mut_)? self) -> [(&'static str, & $($mut_)? AnyLinear); 6] {
+            let [wq, wk, wv, wo] = self.attn.$inner().$projections();
+            let [fc1, fc2] = self.ffn.$inner().$layers();
+            [
+                ("attn.q_proj", wq),
+                ("attn.k_proj", wk),
+                ("attn.v_proj", wv),
+                ("attn.out_proj", wo),
+                ("ffn.fc1", fc1),
+                ("ffn.fc2", fc2),
+            ]
         }
     };
+}
+
+/// One transformer block: `x + Attn(LN(x))` followed by `h + FFN(LN(h))` —
+/// structurally, `Residual<MultiHeadAttention>` then `Residual<FeedForward>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    attn: Residual<MultiHeadAttention>,
+    ffn: Residual<FeedForward>,
 }
 
 impl TransformerBlock {
@@ -40,105 +48,154 @@ impl TransformerBlock {
     /// Returns a configuration error if `dim` is not divisible by `num_heads`.
     pub fn new(dim: usize, ffn_dim: usize, num_heads: usize, rng: &mut Rng) -> Result<Self> {
         Ok(TransformerBlock {
-            ln1: LayerNorm::new(dim),
-            attention: MultiHeadAttention::new(dim, num_heads, rng)?,
-            ln2: LayerNorm::new(dim),
-            ffn: FeedForward::new(dim, ffn_dim, rng),
+            attn: Residual::new(
+                LayerNorm::new(dim),
+                MultiHeadAttention::new(dim, num_heads, rng)?,
+            ),
+            ffn: Residual::new(LayerNorm::new(dim), FeedForward::new(dim, ffn_dim, rng)),
         })
     }
 
     /// Hidden dimension.
     pub fn dim(&self) -> usize {
-        self.ln1.dim()
+        self.attn.norm().dim()
     }
 
     /// The attention sub-layer.
     pub fn attention(&self) -> &MultiHeadAttention {
-        &self.attention
+        self.attn.inner()
     }
 
     /// The FFN sub-layer.
     pub fn ffn(&self) -> &FeedForward {
-        &self.ffn
+        self.ffn.inner()
     }
 
-    impl_static_linears!(
-        /// All six static linear layers of the block, in the paper's order:
-        /// `[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`.
-        static_linears_mut, projections_mut, layers_mut, mut
+    // Both named-linear accessors are generated from this one definition of
+    // the paper's layer order so the `&`/`&mut` variants cannot drift apart.
+    impl_block_named_linears!(
+        /// The six static linear layers of the block in the paper's order
+        /// `[W_Q, W_K, W_V, W_proj, FFN1, FFN2]`, each tagged with its
+        /// block-relative parameter scope (`attn.q_proj`, ..., `ffn.fc2`).
+        ///
+        /// This is the hook the gradient-redistribution pipeline uses to
+        /// factorize layers and to inject hardware noise.
+        named_linears_mut, inner_mut, projections_mut, layers_mut, mut
     );
-    impl_static_linears!(
-        /// Immutable view of the six static linear layers.
-        static_linears, projections, layers,
+    impl_block_named_linears!(
+        /// Immutable view of the six named static linear layers, in the same
+        /// order as [`TransformerBlock::named_linears_mut`].
+        named_linears, inner, projections, layers,
     );
 
     /// Forward pass over a `[L, dim]` matrix.
+    ///
+    /// Shorthand for [`TransformerBlock::forward_masked`] with
+    /// [`AttentionMask::Causal`] or [`AttentionMask::Bidirectional`].
     ///
     /// # Errors
     ///
     /// Returns shape errors from the sub-layers.
     pub fn forward(&self, x: &Matrix, causal: bool) -> Result<Matrix> {
-        let attn_out = self.attention.forward(&self.ln1.forward(x)?, causal)?;
-        let h = x.add(&attn_out)?;
-        let ffn_out = self.ffn.forward(&self.ln2.forward(&h)?)?;
-        Ok(h.add(&ffn_out)?)
+        let mask = if causal {
+            AttentionMask::Causal
+        } else {
+            AttentionMask::Bidirectional
+        };
+        self.forward_masked(x, &mask)
+    }
+
+    /// Forward pass under an explicit [`AttentionMask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn forward_masked(&self, x: &Matrix, mask: &AttentionMask) -> Result<Matrix> {
+        let ctx = LayerCtx::with_mask(*mask);
+        let h = self.attn.forward(x, &ctx)?;
+        self.ffn.forward(&h, &ctx)
     }
 
     /// Backward pass: accumulates gradients in all sub-layers and returns
     /// `dL/dx`.
     ///
+    /// Shorthand for [`TransformerBlock::backward_masked`] with
+    /// [`AttentionMask::Causal`] or [`AttentionMask::Bidirectional`].
+    ///
     /// # Errors
     ///
     /// Returns shape errors from the sub-layers.
     pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix, causal: bool) -> Result<Matrix> {
-        // Recompute the forward intermediates.
-        let ln1_out = self.ln1.forward(x)?;
-        let attn_out = self.attention.forward(&ln1_out, causal)?;
-        let h = x.add(&attn_out)?;
-        let ln2_out = self.ln2.forward(&h)?;
-
-        // y = h + FFN(LN2(h))
-        let d_ffn_in = self.ffn.backward(&ln2_out, grad_out)?;
-        let d_h_from_ffn = self.ln2.backward(&h, &d_ffn_in)?;
-        let mut d_h = grad_out.clone();
-        d_h.add_assign(&d_h_from_ffn)?;
-
-        // h = x + Attn(LN1(x))
-        let d_attn_in = self.attention.backward(&ln1_out, &d_h, causal)?;
-        let d_x_from_attn = self.ln1.backward(x, &d_attn_in)?;
-        let mut d_x = d_h;
-        d_x.add_assign(&d_x_from_attn)?;
-        Ok(d_x)
+        let mask = if causal {
+            AttentionMask::Causal
+        } else {
+            AttentionMask::Bidirectional
+        };
+        self.backward_masked(x, grad_out, &mask)
     }
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.ln1.zero_grad();
-        self.attention.zero_grad();
-        self.ln2.zero_grad();
-        self.ffn.zero_grad();
+    /// Backward pass under an explicit [`AttentionMask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn backward_masked(
+        &mut self,
+        x: &Matrix,
+        grad_out: &Matrix,
+        mask: &AttentionMask,
+    ) -> Result<Matrix> {
+        let ctx = LayerCtx::with_mask(*mask).train();
+        // Recompute the attention half's output, then chain the two residual
+        // backward passes (FFN half first, mirroring the forward order).
+        let h = self.attn.forward(x, &ctx)?;
+        let d_h = self.ffn.backward(&h, grad_out, &ctx)?;
+        self.attn.backward(x, &d_h, &ctx)
+    }
+}
+
+impl ParamVisit for TransformerBlock {
+    // Hand-written (rather than delegating to the residuals' own `norm`/
+    // `inner` scopes) so the canonical dotted names stay flat and readable:
+    // `ln1.gamma`, `attn.q_proj.weight`, `ln2.beta`, `ffn.fc1.bias`.
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        path.scope("ln1", |p| self.attn.norm().visit_params(p, f));
+        path.scope("attn", |p| self.attn.inner().visit_params(p, f));
+        path.scope("ln2", |p| self.ffn.norm().visit_params(p, f));
+        path.scope("ffn", |p| self.ffn.inner().visit_params(p, f));
     }
 
-    /// Applies one AdamW step to every sub-layer.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.ln1.step(config, batch_size);
-        self.attention.step(config, batch_size);
-        self.ln2.step(config, batch_size);
-        self.ffn.step(config, batch_size);
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        let (ln1, attn) = self.attn.parts_mut();
+        let (ln2, ffn) = self.ffn.parts_mut();
+        path.scope("ln1", |p| ln1.visit_params_mut(p, f));
+        path.scope("attn", |p| attn.visit_params_mut(p, f));
+        path.scope("ln2", |p| ln2.visit_params_mut(p, f));
+        path.scope("ffn", |p| ffn.visit_params_mut(p, f));
+    }
+}
+
+impl Layer for TransformerBlock {
+    fn forward(&self, x: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        let h = self.attn.forward(x, ctx)?;
+        self.ffn.forward(&h, ctx)
     }
 
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        self.ln1.parameter_count()
-            + self.attention.parameter_count()
-            + self.ln2.parameter_count()
-            + self.ffn.parameter_count()
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        let h = self.attn.forward(x, ctx)?;
+        let d_h = self.ffn.backward(&h, grad_out, ctx)?;
+        self.attn.backward(x, &d_h, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::AdamWConfig;
 
     #[test]
     fn forward_preserves_shape_and_counts_parameters() {
@@ -153,11 +210,37 @@ mod tests {
     }
 
     #[test]
-    fn six_static_linears_are_exposed() {
+    fn six_named_linears_are_exposed() {
         let mut rng = Rng::seed_from(2);
         let mut block = TransformerBlock::new(8, 16, 2, &mut rng).unwrap();
-        assert_eq!(block.static_linears().len(), 6);
-        assert_eq!(block.static_linears_mut().len(), 6);
+        let names: Vec<&str> = block.named_linears().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "attn.q_proj",
+                "attn.k_proj",
+                "attn.v_proj",
+                "attn.out_proj",
+                "ffn.fc1",
+                "ffn.fc2"
+            ]
+        );
+        assert_eq!(block.named_linears_mut().len(), 6);
+    }
+
+    #[test]
+    fn param_visitation_covers_all_scopes() {
+        let mut rng = Rng::seed_from(6);
+        let block = TransformerBlock::new(8, 16, 2, &mut rng).unwrap();
+        let mut names = Vec::new();
+        let mut path = ParamPath::root();
+        block.visit_params(&mut path, &mut |name, _| names.push(name.to_string()));
+        assert!(names.contains(&"ln1.gamma".to_string()));
+        assert!(names.contains(&"attn.q_proj.weight".to_string()));
+        assert!(names.contains(&"ln2.beta".to_string()));
+        assert!(names.contains(&"ffn.fc2.bias".to_string()));
+        // 2 norms x 2 + 6 linears x 2 params each.
+        assert_eq!(names.len(), 4 + 12);
     }
 
     #[test]

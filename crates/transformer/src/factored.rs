@@ -11,7 +11,7 @@
 //! a dense matrix (or to the `U` / `ΣVᵀ` pair the hardware stores).
 
 use crate::layers::Linear;
-use crate::param::{AdamWConfig, Param};
+use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
 use hyflex_tensor::svd::{self, hard_threshold_rank, SvdAlgorithm};
 use hyflex_tensor::Matrix;
@@ -244,30 +244,6 @@ impl FactoredLinear {
         Ok(d_h.matmul(&self.u.value().transpose())?)
     }
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.u.zero_grad();
-        self.sigma.zero_grad();
-        self.vt.zero_grad();
-        self.bias.zero_grad();
-    }
-
-    /// Applies one AdamW step to every factor.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.u.adamw_step(config, batch_size);
-        self.sigma.adamw_step(config, batch_size);
-        self.vt.adamw_step(config, batch_size);
-        self.bias.adamw_step(config, batch_size);
-    }
-
-    /// Number of scalar parameters (factored form).
-    pub fn parameter_count(&self) -> usize {
-        self.u.value().len()
-            + self.sigma.value().len()
-            + self.vt.value().len()
-            + self.bias.value().len()
-    }
-
     fn scale_by_sigma(&self, h: &Matrix) -> Matrix {
         let mut out = h.clone();
         let sigma = self.sigma.value();
@@ -280,9 +256,30 @@ impl FactoredLinear {
     }
 }
 
+impl ParamVisit for FactoredLinear {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        f(&path.leaf("u"), &self.u);
+        f(&path.leaf("sigma"), &self.sigma);
+        f(&path.leaf("vt"), &self.vt);
+        f(&path.leaf("bias"), &self.bias);
+    }
+
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        f(&path.leaf("u"), &mut self.u);
+        f(&path.leaf("sigma"), &mut self.sigma);
+        f(&path.leaf("vt"), &mut self.vt);
+        f(&path.leaf("bias"), &mut self.bias);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::AdamWConfig;
     use hyflex_tensor::rng::Rng;
 
     fn random_weight(rows: usize, cols: usize, seed: u64) -> Matrix {

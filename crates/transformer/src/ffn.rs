@@ -5,8 +5,8 @@
 //! is why HyFlexPIM's gains over attention-only accelerators such as SPRINT
 //! are largest in that regime.
 
-use crate::layers::{AnyLinear, Linear};
-use crate::param::AdamWConfig;
+use crate::layers::{AnyLinear, Layer, LayerCtx, Linear};
+use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
 use hyflex_tensor::activations::{gelu, gelu_derivative};
 use hyflex_tensor::rng::Rng;
@@ -72,28 +72,38 @@ impl FeedForward {
         let d_hidden = d_activated.hadamard(&hidden.map(gelu_derivative))?;
         self.fc1.backward(x, &d_hidden)
     }
+}
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.fc1.zero_grad();
-        self.fc2.zero_grad();
+impl ParamVisit for FeedForward {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        path.scope("fc1", |p| self.fc1.visit_params(p, f));
+        path.scope("fc2", |p| self.fc2.visit_params(p, f));
     }
 
-    /// Applies one AdamW step.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.fc1.step(config, batch_size);
-        self.fc2.step(config, batch_size);
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        path.scope("fc1", |p| self.fc1.visit_params_mut(p, f));
+        path.scope("fc2", |p| self.fc2.visit_params_mut(p, f));
+    }
+}
+
+impl Layer for FeedForward {
+    fn forward(&self, x: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        FeedForward::forward(self, x)
     }
 
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        self.fc1.parameter_count() + self.fc2.parameter_count()
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        FeedForward::backward(self, x, grad_out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::AdamWConfig;
 
     #[test]
     fn forward_shape_and_parameter_count() {

@@ -1,13 +1,169 @@
-//! Basic trainable layers: linear, layer normalization, and embeddings.
+//! Composable trainable layers and the [`Layer`] trait.
+//!
+//! Every module here implements two orthogonal interfaces:
+//!
+//! * [`Layer`] — `forward`/`backward` over row-major `[L, dim]` activation
+//!   matrices, with a [`LayerCtx`] carrying the attention mask and the
+//!   train-mode flag. Composition helpers ([`Residual`]) and the block/model
+//!   stack in [`crate::block`]/[`crate::model`] are written against this
+//!   trait, so encoder, decoder, and vision topologies assemble from the
+//!   same parts.
+//! * [`crate::param::ParamVisit`] — named parameter visitation, the single
+//!   source of truth for optimizer stepping, gradient clearing, and
+//!   parameter enumeration (`blocks.3.attn.q_proj.weight`).
+//!
+//! The concrete modules are [`Linear`], [`AnyLinear`] (dense or truncated-SVD
+//! factored), [`LayerNorm`], [`Embedding`], plus [`MultiHeadAttention`] and
+//! [`FeedForward`] in their own files.
+//!
+//! [`MultiHeadAttention`]: crate::attention::MultiHeadAttention
+//! [`FeedForward`]: crate::ffn::FeedForward
 
+use crate::attention::AttentionMask;
 use crate::error::ModelError;
 use crate::factored::FactoredLinear;
-use crate::param::{AdamWConfig, Param};
+use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
 use hyflex_tensor::activations;
 use hyflex_tensor::rng::Rng;
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+
+/// Per-pass context threaded through [`Layer::forward`] and
+/// [`Layer::backward`].
+#[derive(Debug, Clone, Copy)]
+pub struct LayerCtx<'a> {
+    /// Attention masking for this pass; layers without attention ignore it.
+    pub mask: AttentionMask<'a>,
+    /// Train-mode flag. No current module behaves differently between train
+    /// and inference (there is no dropout), but the flag is threaded through
+    /// every call so stochastic layers can be added without changing the
+    /// [`Layer`] signature.
+    pub train: bool,
+}
+
+impl<'a> LayerCtx<'a> {
+    /// Inference context with the given attention mask.
+    pub fn with_mask(mask: AttentionMask<'a>) -> Self {
+        LayerCtx { mask, train: false }
+    }
+
+    /// Bidirectional inference context (the default).
+    pub fn inference() -> LayerCtx<'static> {
+        LayerCtx::with_mask(AttentionMask::Bidirectional)
+    }
+
+    /// Causally masked inference context (decoder behaviour).
+    pub fn causal() -> LayerCtx<'static> {
+        LayerCtx::with_mask(AttentionMask::Causal)
+    }
+
+    /// The same context with the train-mode flag raised.
+    pub fn train(mut self) -> Self {
+        self.train = true;
+        self
+    }
+}
+
+/// A composable model module: forward/backward over `[L, dim]` activations
+/// plus named parameter visitation (via the [`ParamVisit`] supertrait).
+///
+/// `backward` recomputes its forward intermediates internally, accumulates
+/// gradients into the module's parameters, and returns `dL/dx`; callers only
+/// supply the original input. Modules whose input is not an activation
+/// matrix (e.g. [`Embedding`], which consumes token ids) implement only
+/// [`ParamVisit`].
+pub trait Layer: ParamVisit {
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the underlying computation.
+    fn forward(&self, x: &Matrix, ctx: &LayerCtx) -> Result<Matrix>;
+
+    /// Backward pass: accumulates parameter gradients, returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the underlying computation.
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, ctx: &LayerCtx) -> Result<Matrix>;
+}
+
+/// Pre-norm residual combinator: `x + inner(norm(x))`.
+///
+/// Both halves of a transformer block are instances of this shape — attention
+/// and FFN each sit behind a layer norm inside a residual connection — so the
+/// block in [`crate::block`] is literally two `Residual`s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Residual<L> {
+    norm: LayerNorm,
+    inner: L,
+}
+
+impl<L> Residual<L> {
+    /// Wraps `inner` behind `norm` in a residual connection.
+    pub fn new(norm: LayerNorm, inner: L) -> Self {
+        Residual { norm, inner }
+    }
+
+    /// The pre-normalization layer.
+    pub fn norm(&self) -> &LayerNorm {
+        &self.norm
+    }
+
+    /// Mutable access to the pre-normalization layer.
+    pub fn norm_mut(&mut self) -> &mut LayerNorm {
+        &mut self.norm
+    }
+
+    /// The wrapped module.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped module.
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
+    }
+
+    /// Simultaneous mutable borrows of the norm and the wrapped module.
+    pub fn parts_mut(&mut self) -> (&mut LayerNorm, &mut L) {
+        (&mut self.norm, &mut self.inner)
+    }
+}
+
+impl<L: ParamVisit> ParamVisit for Residual<L> {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        path.scope("norm", |p| self.norm.visit_params(p, f));
+        path.scope("inner", |p| self.inner.visit_params(p, f));
+    }
+
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        path.scope("norm", |p| self.norm.visit_params_mut(p, f));
+        path.scope("inner", |p| self.inner.visit_params_mut(p, f));
+    }
+}
+
+impl<L: Layer> Layer for Residual<L> {
+    fn forward(&self, x: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        let normed = self.norm.forward(x)?;
+        let y = self.inner.forward(&normed, ctx)?;
+        Ok(x.add(&y)?)
+    }
+
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, ctx: &LayerCtx) -> Result<Matrix> {
+        let normed = self.norm.forward(x)?;
+        let d_inner = self.inner.backward(&normed, grad_out, ctx)?;
+        let d_norm = self.norm.backward(x, &d_inner)?;
+        let mut d_x = grad_out.clone();
+        d_x.add_assign(&d_norm)?;
+        Ok(d_x)
+    }
+}
 
 /// A dense affine layer `y = x · W + b` with `W` of shape `[in, out]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,22 +242,31 @@ impl Linear {
         self.bias.accumulate_grad(&d_bias);
         Ok(grad_out.matmul(&self.weight.value().transpose())?)
     }
+}
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.weight.zero_grad();
-        self.bias.zero_grad();
+impl ParamVisit for Linear {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        f(&path.leaf("weight"), &self.weight);
+        f(&path.leaf("bias"), &self.bias);
     }
 
-    /// Applies one AdamW step.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.weight.adamw_step(config, batch_size);
-        self.bias.adamw_step(config, batch_size);
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        f(&path.leaf("weight"), &mut self.weight);
+        f(&path.leaf("bias"), &mut self.bias);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&self, x: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        Linear::forward(self, x)
     }
 
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        self.weight.value().len() + self.bias.value().len()
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        Linear::backward(self, x, grad_out)
     }
 }
 
@@ -163,30 +328,6 @@ impl AnyLinear {
         }
     }
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        match self {
-            AnyLinear::Dense(l) => l.zero_grad(),
-            AnyLinear::Factored(f) => f.zero_grad(),
-        }
-    }
-
-    /// Applies one AdamW step.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        match self {
-            AnyLinear::Dense(l) => l.step(config, batch_size),
-            AnyLinear::Factored(f) => f.step(config, batch_size),
-        }
-    }
-
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        match self {
-            AnyLinear::Dense(l) => l.parameter_count(),
-            AnyLinear::Factored(f) => f.parameter_count(),
-        }
-    }
-
     /// Converts a dense layer into its hard-threshold factored form in place
     /// with the default (Jacobi) SVD.
     ///
@@ -240,6 +381,40 @@ impl AnyLinear {
             AnyLinear::Dense(l) => Some(l),
             AnyLinear::Factored(_) => None,
         }
+    }
+}
+
+impl ParamVisit for AnyLinear {
+    // Transparent: the variant's own leaf names (`weight`/`bias` dense,
+    // `u`/`sigma`/`vt`/`bias` factored) appear directly under the layer's
+    // scope, so `VarBuilder::get("q_proj")` resolves through the `.weight`
+    // fallback regardless of factorization state.
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        match self {
+            AnyLinear::Dense(l) => l.visit_params(path, f),
+            AnyLinear::Factored(fl) => fl.visit_params(path, f),
+        }
+    }
+
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        match self {
+            AnyLinear::Dense(l) => l.visit_params_mut(path, f),
+            AnyLinear::Factored(fl) => fl.visit_params_mut(path, f),
+        }
+    }
+}
+
+impl Layer for AnyLinear {
+    fn forward(&self, x: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        AnyLinear::forward(self, x)
+    }
+
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        AnyLinear::backward(self, x, grad_out)
     }
 }
 
@@ -328,22 +503,31 @@ impl LayerNorm {
         self.beta.accumulate_grad(&d_beta);
         Ok(d_input)
     }
+}
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.gamma.zero_grad();
-        self.beta.zero_grad();
+impl ParamVisit for LayerNorm {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        f(&path.leaf("gamma"), &self.gamma);
+        f(&path.leaf("beta"), &self.beta);
     }
 
-    /// Applies one AdamW step.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.gamma.adamw_step(config, batch_size);
-        self.beta.adamw_step(config, batch_size);
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        f(&path.leaf("gamma"), &mut self.gamma);
+        f(&path.leaf("beta"), &mut self.beta);
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&self, x: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        LayerNorm::forward(self, x)
     }
 
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        2 * self.dim()
+    fn backward(&mut self, x: &Matrix, grad_out: &Matrix, _ctx: &LayerCtx) -> Result<Matrix> {
+        LayerNorm::backward(self, x, grad_out)
     }
 }
 
@@ -437,28 +621,28 @@ impl Embedding {
         }
         Ok(())
     }
+}
 
-    /// Clears accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.table.zero_grad();
-        self.positions.zero_grad();
+impl ParamVisit for Embedding {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        f(&path.leaf("table"), &self.table);
+        f(&path.leaf("positions"), &self.positions);
     }
 
-    /// Applies one AdamW step.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
-        self.table.adamw_step(config, batch_size);
-        self.positions.adamw_step(config, batch_size);
-    }
-
-    /// Number of scalar parameters.
-    pub fn parameter_count(&self) -> usize {
-        self.table.value().len() + self.positions.value().len()
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
+        f(&path.leaf("table"), &mut self.table);
+        f(&path.leaf("positions"), &mut self.positions);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::param::AdamWConfig;
 
     fn finite_difference_check<F>(f: F, x: &Matrix, analytic: &Matrix, tol: f32)
     where

@@ -17,10 +17,17 @@
 //!   noise injection (Figures 11–13 and the accuracy portion of Figure 12).
 //!
 //! The layer zoo ([`layers`], [`attention`], [`ffn`], [`factored`]) exposes a
-//! uniform forward/backward interface built on [`param::Param`], so the
-//! gradient-redistribution pipeline in `hyflex-pim` can swap any dense linear
-//! layer for its truncated-SVD factored equivalent and read back gradients on
-//! the singular values.
+//! uniform forward/backward interface — the [`layers::Layer`] trait — built
+//! on [`param::Param`], so the gradient-redistribution pipeline in
+//! `hyflex-pim` can swap any dense linear layer for its truncated-SVD
+//! factored equivalent and read back gradients on the singular values.
+//!
+//! Model structure is declarative: [`graph::ModelGraph`] assembles encoder,
+//! decoder, and vision topologies from the same composable modules, and
+//! every parameter is reachable through the named-visitation API in
+//! [`param`] ([`param::ParamVisit`], [`param::ParamStore`],
+//! [`param::VarBuilder`]) under dotted names such as
+//! `blocks.3.attn.q_proj.weight`.
 
 pub mod attention;
 pub mod block;
@@ -28,6 +35,7 @@ pub mod config;
 pub mod error;
 pub mod factored;
 pub mod ffn;
+pub mod graph;
 pub mod layers;
 pub mod metrics;
 pub mod model;
@@ -35,11 +43,14 @@ pub mod ops_count;
 pub mod param;
 pub mod trainer;
 
+pub use attention::AttentionMask;
 pub use config::{ModelConfig, ModelKind, TaskKind};
 pub use error::ModelError;
 pub use factored::FactoredLinear;
+pub use graph::{BlockSpec, HeadSpec, ModelGraph, StemSpec};
+pub use layers::{Layer, LayerCtx, Residual};
 pub use model::{ModelInput, TransformerModel};
-pub use param::{AdamWConfig, Param};
+pub use param::{AdamWConfig, Param, ParamPath, ParamStore, ParamVisit, VarBuilder};
 pub use trainer::Trainer;
 
 /// Convenience result alias used across the crate.

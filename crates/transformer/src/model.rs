@@ -1,14 +1,21 @@
 //! End-to-end transformer models: embeddings, block stack, and task head.
+//!
+//! [`TransformerModel`] is assembled by the declarative builder in
+//! [`crate::graph`]; this module owns the runtime behaviour — forward,
+//! packed batching, backward, and the named parameter surface.
 
+use crate::attention::AttentionMask;
 use crate::block::TransformerBlock;
-use crate::config::{ModelConfig, ModelKind, TaskKind};
+use crate::config::{ModelConfig, TaskKind};
 use crate::error::ModelError;
+use crate::graph::ModelGraph;
 use crate::layers::{AnyLinear, Embedding, LayerNorm, Linear};
-use crate::param::AdamWConfig;
+use crate::param::{Param, ParamPath, ParamStore, ParamVisit};
 use crate::Result;
 use hyflex_tensor::rng::Rng;
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Input to a transformer model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,6 +41,27 @@ impl ModelInput {
     }
 }
 
+/// Generates a model-level named-linear accessor by flattening the per-block
+/// lists under `blocks.N.` prefixes; the `&`/`&mut` pair shares this one body
+/// so the enumeration order (block-major, paper layer order within a block)
+/// is defined exactly once.
+macro_rules! impl_model_named_linears {
+    ($(#[$doc:meta])* $fn_name:ident, $iter:ident, $($mut_:tt)?) => {
+        $(#[$doc])*
+        pub fn $fn_name(& $($mut_)? self) -> Vec<(String, & $($mut_)? AnyLinear)> {
+            self.blocks
+                .$iter()
+                .enumerate()
+                .flat_map(|(i, b)| {
+                    b.$fn_name()
+                        .into_iter()
+                        .map(move |(name, layer)| (format!("blocks.{i}.{name}"), layer))
+                })
+                .collect()
+        }
+    };
+}
+
 /// A complete transformer model instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransformerModel {
@@ -45,57 +73,37 @@ pub struct TransformerModel {
     head: Linear,
 }
 
-/// Generates the `&`/`&mut` pair of whole-model static-linear accessors from
-/// one body (the per-block ordering contract lives on
-/// [`TransformerBlock::static_linears`]).
-macro_rules! impl_model_static_linears {
-    ($(#[$doc:meta])* $fn_name:ident, $iter:ident, $($mut_:tt)?) => {
-        $(#[$doc])*
-        pub fn $fn_name(& $($mut_)? self) -> Vec<& $($mut_)? AnyLinear> {
-            self.blocks.$iter().flat_map(|b| b.$fn_name()).collect()
-        }
-    };
-}
-
 impl TransformerModel {
     /// Builds a randomly initialized model from a configuration.
+    ///
+    /// Shorthand for [`ModelGraph::from_config`] followed by
+    /// [`ModelGraph::build`].
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidConfig`] for inconsistent configurations.
     pub fn new(config: ModelConfig, rng: &mut Rng) -> Result<Self> {
-        config.validate()?;
-        let (embedding, patch_proj) = match config.kind {
-            ModelKind::VisionEncoder => {
-                let patch_dim = config
-                    .patch_dim
-                    .ok_or_else(|| ModelError::InvalidConfig("missing patch_dim".into()))?;
-                (None, Some(Linear::new(patch_dim, config.hidden_dim, rng)))
-            }
-            _ => (
-                Some(Embedding::new(
-                    config.vocab_size,
-                    config.max_seq_len,
-                    config.hidden_dim,
-                    rng,
-                )),
-                None,
-            ),
-        };
-        let blocks = (0..config.num_layers)
-            .map(|_| {
-                TransformerBlock::new(config.hidden_dim, config.ffn_dim, config.num_heads, rng)
-            })
-            .collect::<Result<Vec<_>>>()?;
-        let head_outputs = config.task.head_outputs(config.vocab_size);
-        Ok(TransformerModel {
-            final_norm: LayerNorm::new(config.hidden_dim),
-            head: Linear::new(config.hidden_dim, head_outputs, rng),
+        ModelGraph::from_config(config)?.build(rng)
+    }
+
+    /// Assembles a model from already-constructed parts (the graph builder's
+    /// final step).
+    pub(crate) fn from_parts(
+        config: ModelConfig,
+        embedding: Option<Embedding>,
+        patch_proj: Option<Linear>,
+        blocks: Vec<TransformerBlock>,
+        final_norm: LayerNorm,
+        head: Linear,
+    ) -> Self {
+        TransformerModel {
+            config,
             embedding,
             patch_proj,
             blocks,
-            config,
-        })
+            final_norm,
+            head,
+        }
     }
 
     /// The model configuration.
@@ -108,32 +116,27 @@ impl TransformerModel {
         &self.blocks
     }
 
-    impl_model_static_linears!(
-        /// Mutable access to every static linear layer of every block, in
-        /// `(layer_index, [W_Q, W_K, W_V, W_proj, FFN1, FFN2])` order,
-        /// flattened.
+    /// A flat, named snapshot of every parameter (see [`ParamStore`]).
+    pub fn params(&self) -> ParamStore<'_> {
+        ParamStore::of(self)
+    }
+
+    // Both model-level accessors expand from the same flattening definition,
+    // mirroring the macro-generated pair on [`TransformerBlock`].
+    impl_model_named_linears!(
+        /// Mutable access to every static linear layer of every block as
+        /// `(name, layer)` pairs — `blocks.0.attn.q_proj` through
+        /// `blocks.N.ffn.fc2` — in block-major, paper layer order.
         ///
         /// This is the hook the gradient-redistribution pipeline uses to
         /// factorize layers and to inject hardware noise.
-        static_linears_mut, iter_mut, mut
+        named_linears_mut, iter_mut, mut
     );
-    impl_model_static_linears!(
-        /// Immutable access to every static linear layer.
-        static_linears, iter,
+    impl_model_named_linears!(
+        /// Immutable access to every named static linear layer, in the same
+        /// order as [`TransformerModel::named_linears_mut`].
+        named_linears, iter,
     );
-
-    /// Total scalar parameter count.
-    pub fn parameter_count(&self) -> usize {
-        let mut count: usize = self.blocks.iter().map(|b| b.parameter_count()).sum();
-        count += self.final_norm.parameter_count() + self.head.parameter_count();
-        if let Some(e) = &self.embedding {
-            count += e.parameter_count();
-        }
-        if let Some(p) = &self.patch_proj {
-            count += p.parameter_count();
-        }
-        count
-    }
 
     fn embed(&self, input: &ModelInput) -> Result<Matrix> {
         match (input, &self.embedding, &self.patch_proj) {
@@ -157,6 +160,23 @@ impl TransformerModel {
         }
     }
 
+    /// The whole-sequence attention mask this model's topology implies.
+    fn sequence_mask(&self) -> AttentionMask<'static> {
+        if self.config.is_causal() {
+            AttentionMask::Causal
+        } else {
+            AttentionMask::Bidirectional
+        }
+    }
+
+    /// Applies the task head to one request's final hidden rows.
+    fn head_logits(&self, hidden: &Matrix) -> Result<Matrix> {
+        match self.config.task {
+            TaskKind::LanguageModeling => self.head.forward(hidden),
+            _ => self.head.forward(&mean_pool(hidden)),
+        }
+    }
+
     /// Runs the model and returns the task logits.
     ///
     /// * Classification / regression: a `[1, outputs]` row (mean-pooled).
@@ -166,41 +186,74 @@ impl TransformerModel {
     ///
     /// Returns input/shape errors.
     pub fn forward(&self, input: &ModelInput) -> Result<Matrix> {
-        let causal = self.config.is_causal();
+        let mask = self.sequence_mask();
         let mut x = self.embed(input)?;
         for block in &self.blocks {
-            x = block.forward(&x, causal)?;
+            x = block.forward_masked(&x, &mask)?;
         }
         let hidden = self.final_norm.forward(&x)?;
-        match self.config.task {
-            TaskKind::LanguageModeling => self.head.forward(&hidden),
-            _ => {
-                let pooled = mean_pool(&hidden);
-                self.head.forward(&pooled)
-            }
-        }
+        self.head_logits(&hidden)
     }
 
     /// Runs the model over a group of requests (a serving batch) and returns
     /// one logits matrix per request, in request order.
     ///
-    /// Weights are static in the PIM arrays, so a batch shares one weight
-    /// read-out schedule; functionally the requests are independent, and the
-    /// results are identical to calling [`TransformerModel::forward`] per
-    /// request. The runtime crate's batch scheduler uses this to execute the
-    /// request groups it forms.
+    /// The requests are **packed**: each is embedded on its own (positions
+    /// restart at zero per request), the rows are concatenated into a single
+    /// activation matrix with no padding, and [`AttentionMask::Packed`] keeps
+    /// attention from crossing request boundaries. Every per-request result
+    /// is bit-identical to calling [`TransformerModel::forward`] on that
+    /// request alone, while the whole group shares one pass over the static
+    /// weights — mirroring how the PIM arrays amortize a weight read-out
+    /// schedule across a serving batch without wasting crossbar rows on
+    /// padding lanes. The runtime crate's batch scheduler uses this to
+    /// execute the request groups it forms.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidInput`] for an empty group and propagates
-    /// per-request forward errors.
+    /// per-request embedding/shape errors.
     pub fn forward_batch(&self, inputs: &[ModelInput]) -> Result<Vec<Matrix>> {
         if inputs.is_empty() {
             return Err(ModelError::InvalidInput(
                 "batched forward needs at least one request".to_string(),
             ));
         }
-        inputs.iter().map(|input| self.forward(input)).collect()
+        let (mut x, segments) = self.pack(inputs)?;
+        let mask = AttentionMask::Packed {
+            segments: &segments,
+            causal: self.config.is_causal(),
+        };
+        for block in &self.blocks {
+            x = block.forward_masked(&x, &mask)?;
+        }
+        let hidden = self.final_norm.forward(&x)?;
+        segments
+            .iter()
+            .map(|seg| {
+                let rows = hidden.submatrix(seg.start, 0, seg.end - seg.start, hidden.cols())?;
+                self.head_logits(&rows)
+            })
+            .collect()
+    }
+
+    /// Embeds each request independently and concatenates the rows into one
+    /// packed activation matrix, returning it with the per-request segments.
+    fn pack(&self, inputs: &[ModelInput]) -> Result<(Matrix, Vec<Range<usize>>)> {
+        let mut segments = Vec::with_capacity(inputs.len());
+        let mut embedded = Vec::with_capacity(inputs.len());
+        let mut rows = 0usize;
+        for input in inputs {
+            let e = self.embed(input)?;
+            segments.push(rows..rows + e.rows());
+            rows += e.rows();
+            embedded.push(e);
+        }
+        let mut packed = Matrix::zeros(rows, self.config.hidden_dim);
+        for (seg, e) in segments.iter().zip(&embedded) {
+            packed.set_submatrix(seg.start, 0, e)?;
+        }
+        Ok((packed, segments))
     }
 
     /// Runs the model, then back-propagates `d_logits`, accumulating
@@ -215,14 +268,14 @@ impl TransformerModel {
         input: &ModelInput,
         d_logits_of: &mut dyn FnMut(&Matrix) -> Matrix,
     ) -> Result<(Matrix, Matrix)> {
-        let causal = self.config.is_causal();
+        let mask = self.sequence_mask();
         // Forward, caching each block input.
         let x0 = self.embed(input)?;
         let mut block_inputs = Vec::with_capacity(self.blocks.len());
         let mut x = x0.clone();
         for block in &self.blocks {
             block_inputs.push(x.clone());
-            x = block.forward(&x, causal)?;
+            x = block.forward_masked(&x, &mask)?;
         }
         let hidden = self.final_norm.forward(&x)?;
         let (logits, pooled) = match self.config.task {
@@ -256,7 +309,7 @@ impl TransformerModel {
         // Backward through the final layer norm and the block stack.
         let mut d_x = self.final_norm.backward(&x, &d_hidden)?;
         for (block, block_input) in self.blocks.iter_mut().zip(block_inputs.iter()).rev() {
-            d_x = block.backward(block_input, &d_x, causal)?;
+            d_x = block.backward_masked(block_input, &d_x, &mask)?;
         }
 
         // Backward into the embedding / patch projection.
@@ -271,35 +324,41 @@ impl TransformerModel {
         }
         Ok((logits, d_logits))
     }
+}
 
-    /// Clears all accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        if let Some(e) = &mut self.embedding {
-            e.zero_grad();
+impl ParamVisit for TransformerModel {
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param)) {
+        if let Some(e) = &self.embedding {
+            path.scope("embedding", |p| e.visit_params(p, f));
         }
-        if let Some(p) = &mut self.patch_proj {
-            p.zero_grad();
+        if let Some(proj) = &self.patch_proj {
+            path.scope("patch_proj", |p| proj.visit_params(p, f));
         }
-        for block in &mut self.blocks {
-            block.zero_grad();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let scope = format!("blocks.{i}");
+            path.scope(&scope, |p| block.visit_params(p, f));
         }
-        self.final_norm.zero_grad();
-        self.head.zero_grad();
+        path.scope("final_norm", |p| self.final_norm.visit_params(p, f));
+        path.scope("head", |p| self.head.visit_params(p, f));
     }
 
-    /// Applies one AdamW step to every parameter.
-    pub fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    ) {
         if let Some(e) = &mut self.embedding {
-            e.step(config, batch_size);
+            path.scope("embedding", |p| e.visit_params_mut(p, f));
         }
-        if let Some(p) = &mut self.patch_proj {
-            p.step(config, batch_size);
+        if let Some(proj) = &mut self.patch_proj {
+            path.scope("patch_proj", |p| proj.visit_params_mut(p, f));
         }
-        for block in &mut self.blocks {
-            block.step(config, batch_size);
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let scope = format!("blocks.{i}");
+            path.scope(&scope, |p| block.visit_params_mut(p, f));
         }
-        self.final_norm.step(config, batch_size);
-        self.head.step(config, batch_size);
+        path.scope("final_norm", |p| self.final_norm.visit_params_mut(p, f));
+        path.scope("head", |p| self.head.visit_params_mut(p, f));
     }
 }
 
@@ -334,7 +393,7 @@ mod tests {
     }
 
     #[test]
-    fn batched_forward_matches_per_request_forward() {
+    fn packed_batched_forward_matches_per_request_forward() {
         let model = tiny_model(7);
         let inputs = vec![
             ModelInput::Tokens(vec![1, 5, 9, 2]),
@@ -344,9 +403,35 @@ mod tests {
         let batched = model.forward_batch(&inputs).unwrap();
         assert_eq!(batched.len(), inputs.len());
         for (input, logits) in inputs.iter().zip(&batched) {
-            assert_eq!(logits, &model.forward(input).unwrap());
+            let solo = model.forward(input).unwrap();
+            assert_eq!(solo.shape(), logits.shape());
+            for r in 0..solo.rows() {
+                for (c, (a, b)) in solo.row(r).iter().zip(logits.row(r)).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "packed logits diverge at [{r},{c}]: {a:?} != {b:?}"
+                    );
+                }
+            }
         }
         assert!(model.forward_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn packed_causal_batch_matches_per_request_forward() {
+        let mut rng = Rng::seed_from(11);
+        let model = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
+        let inputs = vec![
+            ModelInput::Tokens(vec![3, 1, 4, 1, 5]),
+            ModelInput::Tokens(vec![9]),
+            ModelInput::Tokens(vec![2, 6, 5]),
+        ];
+        let batched = model.forward_batch(&inputs).unwrap();
+        for (input, logits) in inputs.iter().zip(&batched) {
+            let solo = model.forward(input).unwrap();
+            assert_eq!(&solo, logits);
+        }
     }
 
     #[test]
@@ -382,10 +467,31 @@ mod tests {
     }
 
     #[test]
-    fn static_linears_exposes_six_layers_per_block() {
+    fn named_linears_exposes_six_layers_per_block_with_scoped_names() {
         let mut model = tiny_model(5);
-        assert_eq!(model.static_linears().len(), 2 * 6);
-        assert_eq!(model.static_linears_mut().len(), 2 * 6);
+        let named = model.named_linears();
+        assert_eq!(named.len(), 2 * 6);
+        assert_eq!(named[0].0, "blocks.0.attn.q_proj");
+        assert_eq!(named[5].0, "blocks.0.ffn.fc2");
+        assert_eq!(named[6].0, "blocks.1.attn.q_proj");
+        assert_eq!(named[11].0, "blocks.1.ffn.fc2");
+        assert_eq!(model.named_linears_mut().len(), 2 * 6);
+    }
+
+    #[test]
+    fn param_store_resolves_scoped_names() {
+        let model = tiny_model(9);
+        let store = model.params();
+        assert_eq!(store.parameter_count(), model.parameter_count());
+        // Exact leaf lookup and the `.weight` fallback both resolve.
+        let vb = store.root().pp("blocks.1").pp("attn");
+        let direct = vb.get("q_proj.weight").unwrap();
+        let fallback = vb.get("q_proj").unwrap();
+        assert!(std::ptr::eq(direct, fallback));
+        assert!(vb.get("nonexistent").is_err());
+        assert!(store.get("embedding.table").is_some());
+        assert!(store.get("final_norm.gamma").is_some());
+        assert!(store.get("head.bias").is_some());
     }
 
     #[test]
@@ -406,8 +512,8 @@ mod tests {
             .unwrap();
         assert_eq!(logits.shape(), (1, 3));
         assert_eq!(d_logits.shape(), (1, 3));
-        // The head weight gradient should now be non-zero.
-        let any_grad = model.static_linears().iter().any(|l| match l {
+        // The block weight gradients should now be non-zero.
+        let any_grad = model.named_linears().iter().any(|(_, l)| match l {
             AnyLinear::Dense(d) => d.weight_param().grad().max_abs() > 0.0,
             AnyLinear::Factored(_) => false,
         });

@@ -1,11 +1,39 @@
-//! Trainable parameters and the AdamW update rule.
+//! Trainable parameters, the AdamW update rule, and named visitation.
 //!
 //! Every layer owns its parameters as [`Param`] values: the weight matrix, an
 //! accumulated gradient, and the AdamW first/second-moment state. The trainer
 //! drives the generic `zero_grad` / accumulate / `adamw_step` cycle; the
 //! gradient-redistribution pipeline in `hyflex-pim` additionally reads the
 //! accumulated gradient magnitudes to rank singular values by importance.
+//!
+//! # Named parameter visitation
+//!
+//! [`ParamVisit`] is the single source of truth for parameter enumeration:
+//! every module walks its parameters exactly once, in declaration order,
+//! under dotted hierarchical names (`blocks.3.attn.q_proj.weight`). The
+//! optimizer entry points ([`ParamVisit::step`], [`ParamVisit::zero_grad`])
+//! and [`ParamVisit::parameter_count`] are provided methods on top of that
+//! one walk, so they can never drift from the module structure the way the
+//! old hand-maintained `static_linears` vectors could.
+//!
+//! [`ParamStore`] snapshots one walk into a name → parameter table, and
+//! [`VarBuilder`] is the candle-style scoped accessor over it:
+//!
+//! ```
+//! use hyflex_transformer::{ModelConfig, ParamStore, ParamVisit, TransformerModel};
+//! use hyflex_tensor::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from(1);
+//! let model = TransformerModel::new(ModelConfig::tiny_encoder(2), &mut rng).unwrap();
+//! let store = ParamStore::of(&model);
+//! let vb = store.root();
+//! let q = vb.pp("blocks.0.attn").get("q_proj").unwrap();
+//! assert_eq!(q.value().rows(), 32);
+//! assert_eq!(store.parameter_count(), model.parameter_count());
+//! ```
 
+use crate::error::ModelError;
+use crate::Result;
 use hyflex_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +185,216 @@ impl Param {
             .map(|g| g.abs() as f64)
             .sum::<f64>()
             / n
+    }
+}
+
+/// Dotted-path builder threaded through [`ParamVisit`] walks.
+///
+/// Modules enter child scopes with [`ParamPath::scope`] and name leaf
+/// parameters with [`ParamPath::leaf`]; the buffer is restored on scope exit,
+/// so one allocation-light builder serves the whole recursive walk.
+#[derive(Debug, Default)]
+pub struct ParamPath {
+    buf: String,
+}
+
+impl ParamPath {
+    /// A path at the root scope (empty prefix).
+    pub fn root() -> Self {
+        ParamPath { buf: String::new() }
+    }
+
+    /// Runs `f` with `segment` appended to the path, restoring it afterwards.
+    pub fn scope<R>(&mut self, segment: &str, f: impl FnOnce(&mut ParamPath) -> R) -> R {
+        let saved = self.buf.len();
+        if !self.buf.is_empty() {
+            self.buf.push('.');
+        }
+        self.buf.push_str(segment);
+        let out = f(self);
+        self.buf.truncate(saved);
+        out
+    }
+
+    /// The full dotted name of a leaf parameter under the current scope.
+    pub fn leaf(&self, name: &str) -> String {
+        if self.buf.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.buf)
+        }
+    }
+
+    /// The current scope prefix.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+}
+
+/// Named, ordered parameter visitation — the single enumeration path every
+/// parameter-holding module implements.
+///
+/// Implementations must visit each owned [`Param`] exactly once, in stable
+/// declaration order, and must produce identical names from the `&self` and
+/// `&mut self` walks. Everything else — optimizer stepping, gradient
+/// clearing, parameter counting, [`ParamStore`] snapshots — is derived from
+/// this one walk via the provided methods.
+pub trait ParamVisit {
+    /// Visits every parameter with its dotted name.
+    fn visit_params<'a>(&'a self, path: &mut ParamPath, f: &mut dyn FnMut(&str, &'a Param));
+
+    /// Mutable counterpart of [`ParamVisit::visit_params`]; must yield the
+    /// same names in the same order.
+    fn visit_params_mut<'a>(
+        &'a mut self,
+        path: &mut ParamPath,
+        f: &mut dyn FnMut(&str, &'a mut Param),
+    );
+
+    /// Total number of scalar parameter values.
+    fn parameter_count(&self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut ParamPath::root(), &mut |_, p| count += p.value().len());
+        count
+    }
+
+    /// Clears every accumulated gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params_mut(&mut ParamPath::root(), &mut |_, p| p.zero_grad());
+    }
+
+    /// Applies one AdamW step to every (non-frozen) parameter.
+    ///
+    /// AdamW is element-wise per parameter, so routing the optimizer through
+    /// the visitation walk is bit-identical to the per-field `step` methods
+    /// it replaced.
+    fn step(&mut self, config: &AdamWConfig, batch_size: usize) {
+        self.visit_params_mut(&mut ParamPath::root(), &mut |_, p| {
+            p.adamw_step(config, batch_size)
+        });
+    }
+}
+
+/// A snapshot of one [`ParamVisit`] walk: dotted name → parameter reference,
+/// in visitation order.
+#[derive(Debug)]
+pub struct ParamStore<'a> {
+    entries: Vec<(String, &'a Param)>,
+}
+
+impl<'a> ParamStore<'a> {
+    /// Snapshots the parameters of `root`.
+    pub fn of<M: ParamVisit + ?Sized>(root: &'a M) -> Self {
+        let mut entries = Vec::new();
+        root.visit_params(&mut ParamPath::root(), &mut |name, p| {
+            entries.push((name.to_string(), p));
+        });
+        ParamStore { entries }
+    }
+
+    /// Number of named parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The dotted names, in visitation order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// `(name, param)` pairs in visitation order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &'a Param)> + '_ {
+        self.entries.iter().map(|(n, p)| (n.as_str(), *p))
+    }
+
+    /// Looks up a parameter by its full dotted name.
+    pub fn get(&self, name: &str) -> Option<&'a Param> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+    }
+
+    /// Total number of scalar parameter values.
+    pub fn parameter_count(&self) -> usize {
+        self.entries.iter().map(|(_, p)| p.value().len()).sum()
+    }
+
+    /// A [`VarBuilder`] rooted at the empty prefix.
+    pub fn root(&self) -> VarBuilder<'_, 'a> {
+        VarBuilder {
+            store: self,
+            prefix: String::new(),
+        }
+    }
+}
+
+/// Candle-style scoped accessor over a [`ParamStore`].
+///
+/// [`VarBuilder::pp`] ("push prefix") descends into a scope;
+/// [`VarBuilder::get`] resolves a name under the current prefix. A name that
+/// resolves to a whole linear layer (e.g. `q_proj`) falls back to that
+/// layer's primary `weight` parameter, so
+/// `vb.pp("blocks.3.attn").get("q_proj")` works for dense layers.
+#[derive(Debug, Clone)]
+pub struct VarBuilder<'s, 'a> {
+    store: &'s ParamStore<'a>,
+    prefix: String,
+}
+
+impl<'s, 'a> VarBuilder<'s, 'a> {
+    /// Descends into `segment` (push prefix).
+    pub fn pp(&self, segment: &str) -> VarBuilder<'s, 'a> {
+        let prefix = if self.prefix.is_empty() {
+            segment.to_string()
+        } else {
+            format!("{}.{segment}", self.prefix)
+        };
+        VarBuilder {
+            store: self.store,
+            prefix,
+        }
+    }
+
+    /// The current dotted prefix.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Resolves `name` under the current prefix; falls back to
+    /// `<name>.weight` for dense linear layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] when neither name exists.
+    pub fn get(&self, name: &str) -> Result<&'a Param> {
+        let full = if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.prefix)
+        };
+        self.store
+            .get(&full)
+            .or_else(|| self.store.get(&format!("{full}.weight")))
+            .ok_or_else(|| ModelError::InvalidInput(format!("no parameter named {full}")))
+    }
+
+    /// Names available under the current prefix, in visitation order.
+    pub fn names(&self) -> Vec<String> {
+        if self.prefix.is_empty() {
+            return self.store.names().map(str::to_string).collect();
+        }
+        let scoped = format!("{}.", self.prefix);
+        self.store
+            .names()
+            .filter_map(|n| n.strip_prefix(&scoped))
+            .map(str::to_string)
+            .collect()
     }
 }
 

@@ -10,7 +10,7 @@ use crate::config::TaskKind;
 use crate::error::ModelError;
 use crate::metrics::TaskMetrics;
 use crate::model::{ModelInput, TransformerModel};
-use crate::param::AdamWConfig;
+use crate::param::{AdamWConfig, ParamVisit};
 use crate::Result;
 use hyflex_tensor::activations::softmax;
 use hyflex_tensor::stats;

@@ -157,6 +157,7 @@ proptest! {
         let mut rng = Rng::seed_from(seed);
         let profile = hyflex_pim::gradient_redistribution::LayerGradientProfile {
             layer_index: 0,
+            name: "blocks.0.attn.q_proj".to_string(),
             rank,
             singular_values: (0..rank).map(|_| rng.uniform() as f32).collect(),
             sigma_gradients: (0..rank).map(|_| rng.uniform()).collect(),

@@ -83,7 +83,7 @@ impl Bencher {
     }
 
     /// Times `routine`, first calibrating the batch size so each timed batch
-    /// runs for roughly [`BATCH_TARGET`].
+    /// runs for roughly `BATCH_TARGET`.
     pub fn iter<O, R>(&mut self, mut routine: R)
     where
         R: FnMut() -> O,
