@@ -116,7 +116,11 @@ fn serving_sweep(args: &BinArgs, seed: u64, model: ModelConfig, seq_len: usize) 
 /// only the real rows. This section quantifies the recoverable fraction by
 /// draining a seeded mixed-length queue through the scheduler at several
 /// batch caps and comparing [`hyflex_runtime::Batch::padded_token_count`]
-/// against [`hyflex_runtime::Batch::actual_token_count`].
+/// against [`hyflex_runtime::Batch::actual_token_count`], then prices both
+/// shapes on the device model: the padded columns charge every batch at its
+/// maximum length (`evaluate_batched`), the packed columns charge only the
+/// real tokens (`evaluate_batched_packed`), so "saved %" is the device time
+/// packed execution recovers on this request stream.
 fn padding_waste_sweep(seed: u64, model: ModelConfig) {
     emitln!(
         "\n(c) {}: padded-token waste on mixed-length batches (packed batching recovers this)",
@@ -129,9 +133,13 @@ fn padding_waste_sweep(seed: u64, model: ModelConfig) {
             "actual tok".to_string(),
             "padded tok".to_string(),
             "waste %".to_string(),
+            "padded us".to_string(),
+            "packed us".to_string(),
+            "saved %".to_string(),
         ],
     );
     const LENGTHS: [usize; 6] = [32, 64, 96, 128, 256, 384];
+    let perf = hyflex_pim::PerformanceModel::paper_default();
     for cap in [2usize, 4, 8, 16] {
         let mut scheduler = BatchScheduler::new(
             hyflex_pim::HyFlexPimConfig::paper_default(),
@@ -152,10 +160,24 @@ fn padding_waste_sweep(seed: u64, model: ModelConfig) {
                 .expect("submit");
         }
         let (mut batches, mut actual, mut padded) = (0usize, 0usize, 0usize);
+        let (mut padded_ns, mut packed_ns) = (0.0f64, 0.0f64);
         while let Some(batch) = scheduler.next_batch() {
             batches += 1;
             actual += batch.actual_token_count();
             padded += batch.padded_token_count();
+            let point = hyflex_pim::EvaluationPoint {
+                model: model.clone(),
+                seq_len: batch.max_seq_len,
+                slc_rank_fraction: SLC_RATE,
+            };
+            padded_ns += perf
+                .evaluate_batched(&point, batch.len())
+                .expect("padded evaluation")
+                .makespan_ns;
+            packed_ns += perf
+                .evaluate_batched_packed(&point, batch.len(), batch.actual_token_count())
+                .expect("packed evaluation")
+                .makespan_ns;
         }
         let waste = 100.0 * (1.0 - actual as f64 / padded as f64);
         print_row(
@@ -165,6 +187,9 @@ fn padding_waste_sweep(seed: u64, model: ModelConfig) {
                 actual.to_string(),
                 padded.to_string(),
                 fmt(waste, 1),
+                fmt(padded_ns / 1e3, 1),
+                fmt(packed_ns / 1e3, 1),
+                fmt(100.0 * (1.0 - packed_ns / padded_ns), 1),
             ],
         );
     }

@@ -20,7 +20,9 @@
 //!   binaries (`fcfs`, `edf`, `priority`);
 //! * `--chips N` — cluster size for multi-chip serving binaries;
 //! * `--dispatch NAME` — cluster request routing (`round-robin`/`rr`,
-//!   `jsq`/`shortest-queue`).
+//!   `jsq`/`shortest-queue`);
+//! * `--requests N` — request count for open-loop traffic binaries;
+//! * `--smoke` — shrink an experiment to a seconds-scale CI smoke run.
 
 use crate::output;
 use hyflex_baselines::{BackendRegistry, SystemBuilder};
@@ -52,6 +54,10 @@ pub struct BinArgs {
     pub chips: Option<usize>,
     /// `--dispatch NAME`: cluster request-routing policy.
     pub dispatch: Option<String>,
+    /// `--requests N`: request count for open-loop traffic binaries.
+    pub requests: Option<usize>,
+    /// `--smoke`: shrink the experiment to a seconds-scale CI smoke run.
+    pub smoke: bool,
 }
 
 impl BinArgs {
@@ -81,6 +87,8 @@ impl BinArgs {
         parsed.policy = value_of("--policy").cloned();
         parsed.chips = value_of("--chips").and_then(|v| v.parse().ok());
         parsed.dispatch = value_of("--dispatch").cloned();
+        parsed.requests = value_of("--requests").and_then(|v| v.parse().ok());
+        parsed.smoke = args.iter().any(|a| a == "--smoke");
         parsed
     }
 
@@ -279,6 +287,12 @@ impl BinArgs {
         self.seed.unwrap_or(default)
     }
 
+    /// The `--requests` selection (or `default`). Zero or unparsable
+    /// values fall back to the default, like the other numeric flags.
+    pub fn requests_or(&self, default: usize) -> usize {
+        self.requests.filter(|&n| n > 0).unwrap_or(default)
+    }
+
     /// The MLC cell mode selected by `--mlc-bits` (default 2-bit).
     pub fn mlc_mode(&self) -> CellMode {
         match self.mlc_bits {
@@ -359,6 +373,12 @@ mod tests {
             DispatchPolicy::JoinShortestQueue
         );
         // Defaults apply when absent; zero chips falls back to the default.
+        let args = parse(&["--requests", "50000", "--smoke"]);
+        assert_eq!(args.requests_or(1_000_000), 50_000);
+        assert!(args.smoke);
+        let args = parse(&["--requests", "0"]);
+        assert_eq!(args.requests_or(1_000_000), 1_000_000);
+        assert!(!args.smoke);
         let args = parse(&["--chips", "0"]);
         assert_eq!(
             args.policy_or(SchedulingPolicy::Priority).unwrap(),

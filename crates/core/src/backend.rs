@@ -55,6 +55,12 @@ pub struct InferenceRequest {
     /// Priority class for the strict-priority scheduling policy; *lower* is
     /// more urgent (0, the constructor default, is the most urgent class).
     pub priority: u8,
+    /// Traffic phase the request arrived in (an index into the arrival
+    /// generator's phase labels — e.g. the MMPP state or diurnal rate-curve
+    /// segment). `0` (the constructor default) for phase-less streams; the
+    /// open-loop overload engine in `hyflex-runtime` uses it to break tail
+    /// latency and goodput out per burst/trough phase.
+    pub phase: u8,
 }
 
 impl InferenceRequest {
@@ -67,6 +73,7 @@ impl InferenceRequest {
             seq_len,
             deadline_ns: f64::INFINITY,
             priority: 0,
+            phase: 0,
         }
     }
 
@@ -87,6 +94,13 @@ impl InferenceRequest {
     #[must_use]
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// The same request tagged with the traffic phase it arrived in.
+    #[must_use]
+    pub fn with_phase(mut self, phase: u8) -> Self {
+        self.phase = phase;
         self
     }
 

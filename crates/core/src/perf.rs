@@ -423,6 +423,67 @@ impl PerformanceModel {
         let single = self.evaluate(point)?;
         pipelined_batch(single, point.model.num_layers, point.seq_len, batch_size)
     }
+
+    /// [`PerformanceModel::evaluate_batched`] with **actual-token** (packed)
+    /// latency accounting: the batch still executes at the padded shape
+    /// `point.seq_len` (the longest request — that is the crossbar read-out
+    /// schedule), but the steady-state initiation intervals are charged for
+    /// `actual_tokens` real tokens instead of `batch_size × seq_len` padded
+    /// ones. This is the device-side counterpart of the functional model's
+    /// packed batching (`AttentionMask::Packed` in `hyflex-transformer`):
+    /// fig18 part (c) showed padding wastes 30–59 % of executed tokens on
+    /// mixed-length batches; this entry point lets the analytic hardware
+    /// model recover that fraction.
+    ///
+    /// The mapping: the padded interval `I(N)` is the per-request stage
+    /// occupancy at `N = seq_len` tokens, so the per-*token* occupancy is
+    /// `I(N)/N`. The first request fills the pipeline at its own (maximum)
+    /// length; the remaining `actual_tokens − N` real tokens stream through
+    /// at the per-token rate, giving the effective interval
+    /// `(actual_tokens − N) / (B − 1) · I(N)/N`. A uniform batch
+    /// (`actual_tokens == batch_size · seq_len`) is bit-identical to
+    /// [`PerformanceModel::evaluate_batched`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::EmptyBatch`](crate::PimError::EmptyBatch) for a
+    /// zero batch size,
+    /// [`PimError::InvalidConfig`](crate::PimError::InvalidConfig) when
+    /// `actual_tokens` is impossible for the shape (below `seq_len` — the
+    /// longest request alone — or above the padded `batch_size × seq_len`),
+    /// and propagates single-request evaluation errors.
+    pub fn evaluate_batched_packed(
+        &self,
+        point: &EvaluationPoint,
+        batch_size: usize,
+        actual_tokens: usize,
+    ) -> Result<BatchPerfSummary> {
+        if batch_size == 0 {
+            return Err(crate::PimError::EmptyBatch);
+        }
+        if actual_tokens < point.seq_len || actual_tokens > batch_size * point.seq_len {
+            return Err(crate::PimError::InvalidConfig(format!(
+                "actual_tokens {actual_tokens} must lie in [{}, {}] for a batch of \
+                 {batch_size} requests padded to {} tokens",
+                point.seq_len,
+                batch_size * point.seq_len,
+                point.seq_len
+            )));
+        }
+        let padded = pipelined_batch(
+            self.evaluate(point)?,
+            point.model.num_layers,
+            point.seq_len,
+            batch_size,
+        )?;
+        if batch_size == 1 {
+            return Ok(padded);
+        }
+        let per_token_ns = padded.initiation_interval_ns / point.seq_len.max(1) as f64;
+        let packed_interval_ns =
+            (actual_tokens - point.seq_len) as f64 / (batch_size - 1) as f64 * per_token_ns;
+        batch_summary_from_interval(padded.single, packed_interval_ns, batch_size)
+    }
 }
 
 /// Builds a [`BatchPerfSummary`] for `batch_size` requests pipelined through
@@ -694,6 +755,37 @@ mod tests {
         let spacing = b16.completion_ns(5) - b16.completion_ns(4);
         assert!((spacing - b16.initiation_interval_ns).abs() < 1e-9);
         assert!(model.evaluate_batched(&p, 0).is_err());
+    }
+
+    #[test]
+    fn packed_batch_charges_actual_tokens_not_padded() {
+        let model = PerformanceModel::paper_default();
+        let p = point(ModelConfig::bert_large(), 256, 0.1);
+        let padded = model.evaluate_batched(&p, 8).unwrap();
+        // A uniform batch (no padding) is bit-identical to the padded path.
+        assert_eq!(
+            model.evaluate_batched_packed(&p, 8, 8 * 256).unwrap(),
+            padded
+        );
+        // A batch of one is bit-identical too (the lone request is the max).
+        assert_eq!(
+            model.evaluate_batched_packed(&p, 1, 256).unwrap(),
+            model.evaluate_batched(&p, 1).unwrap()
+        );
+        // A mixed batch with half its padded tokens real finishes sooner:
+        // the makespan drops by exactly the padding fraction of the
+        // steady-state intervals, while the first request is unchanged.
+        let actual = 256 + 7 * 128; // one max-length request + 7 half-length
+        let packed = model.evaluate_batched_packed(&p, 8, actual).unwrap();
+        assert_eq!(packed.first_request_ns, padded.first_request_ns);
+        assert!(packed.makespan_ns < padded.makespan_ns);
+        let expected_interval = (actual - 256) as f64 / 7.0 / 256.0 * padded.initiation_interval_ns;
+        assert!((packed.initiation_interval_ns - expected_interval).abs() < 1e-9);
+        assert!(packed.requests_per_s > padded.requests_per_s);
+        // Impossible token counts are typed errors, not NaNs.
+        assert!(model.evaluate_batched_packed(&p, 8, 255).is_err());
+        assert!(model.evaluate_batched_packed(&p, 8, 8 * 256 + 1).is_err());
+        assert!(model.evaluate_batched_packed(&p, 0, 256).is_err());
     }
 
     #[test]

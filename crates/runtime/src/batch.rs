@@ -206,6 +206,74 @@ impl BatchScheduler {
             .min_by(|a, b| a.partial_cmp(b).expect("arrival times are not NaN"))
     }
 
+    /// Arrival time of the front-of-queue (first-submitted still-queued)
+    /// request, if any. O(1) companion to
+    /// [`BatchScheduler::oldest_arrival_ns`] for engines that submit in
+    /// non-decreasing arrival order: batch formation removes requests
+    /// without reordering the queue, so under sorted submission the front
+    /// request *is* the oldest and the two accessors agree.
+    pub fn front_arrival_ns(&self) -> Option<f64> {
+        self.queue.front().map(|r| r.arrival_ns)
+    }
+
+    /// Deadline-aware load shedding: removes and returns every queued
+    /// request that can no longer meet its deadline, judged against the
+    /// earliest possible completion `horizon_ns +
+    /// service_estimate_ns(seq_len)`. `horizon_ns` is the earliest the
+    /// next batch could launch (for a busy device, when it frees);
+    /// `service_estimate_ns` is the device's *single-request* makespan for
+    /// the given sequence length — an optimistic bound, so only requests
+    /// that would miss even an immediate solo launch are shed. Requests
+    /// without a deadline (`f64::INFINITY`) are never shed. Relative queue
+    /// order of survivors is preserved.
+    pub fn shed_doomed(
+        &mut self,
+        horizon_ns: f64,
+        mut service_estimate_ns: impl FnMut(usize) -> f64,
+    ) -> Vec<InferenceRequest> {
+        let doomed = |r: &InferenceRequest, estimate: &mut dyn FnMut(usize) -> f64| {
+            r.deadline_ns.is_finite() && r.deadline_ns < horizon_ns + estimate(r.seq_len)
+        };
+        // Fast path: the common launch has nothing to shed — avoid
+        // rebuilding the queue on every batch formation.
+        if !self
+            .queue
+            .iter()
+            .any(|r| doomed(r, &mut service_estimate_ns))
+        {
+            return Vec::new();
+        }
+        let mut shed = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.queue.len());
+        for request in self.queue.drain(..) {
+            if doomed(&request, &mut service_estimate_ns) {
+                shed.push(request);
+            } else {
+                kept.push_back(request);
+            }
+        }
+        self.queue = kept;
+        shed
+    }
+
+    /// Preemption hook for bounded-queue admission: if `incoming` is
+    /// strictly more urgent (in [`SchedulingPolicy`] order) than the
+    /// least-urgent queued request, evicts and returns that victim so the
+    /// caller can admit `incoming` in its place; otherwise leaves the queue
+    /// untouched and returns `None`. Under FCFS the incoming request (the
+    /// latest arrival) is never more urgent than any queued one, so FCFS
+    /// never preempts — preemption is meaningful for EDF (a tight-deadline
+    /// newcomer displaces a deadline-less request) and priority classes.
+    pub fn preempt_for(&mut self, incoming: &InferenceRequest) -> Option<InferenceRequest> {
+        let policy = self.config.policy;
+        let victim = policy.victim_index(&self.queue)?;
+        if policy.before(incoming, &self.queue[victim]) {
+            self.queue.remove(victim)
+        } else {
+            None
+        }
+    }
+
     /// The earliest time at which the queue held a "full" batch, or `None`
     /// if it never has: scanning queued requests in submission order, the
     /// first request at which the running count reaches the batch-fill
@@ -494,6 +562,69 @@ mod tests {
         assert!(s.next_batch().is_none());
         assert!(s.oldest_arrival_ns().is_none());
         assert!(s.fill_time_ns().is_none());
+    }
+
+    #[test]
+    fn shed_doomed_drops_only_unmeetable_deadlines() {
+        let mut s = scheduler(8, 1);
+        s.submit(request(0, 128)).unwrap(); // no deadline: never shed
+        s.submit(request(1, 128).with_deadline_ns(1_000.0)).unwrap();
+        s.submit(request(2, 128).with_deadline_ns(50_000.0))
+            .unwrap();
+        s.submit(request(3, 128).with_deadline_ns(10_000.0))
+            .unwrap();
+        // Launching at t = 5 000 with a 10 000 ns service estimate completes
+        // at 15 000: requests 1 (deadline 1 000) and 3 (deadline 10 000)
+        // cannot make it; 2 (deadline 50 000) and the SLO-less 0 survive.
+        let shed = s.shed_doomed(5_000.0, |_| 10_000.0);
+        let shed_ids: Vec<u64> = shed.iter().map(|r| r.id).collect();
+        assert_eq!(shed_ids, vec![1, 3]);
+        assert_eq!(s.queue_len(), 2);
+        let batch = s.next_batch().unwrap();
+        let kept_ids: Vec<u64> = batch.requests.iter().map(|r| r.id).collect();
+        assert_eq!(kept_ids, vec![0, 2], "survivor order preserved");
+        // Nothing doomed: the fast path returns empty without reordering.
+        let mut s = scheduler(8, 1);
+        s.submit(request(0, 128).with_deadline_ns(1e9)).unwrap();
+        assert!(s.shed_doomed(0.0, |_| 1.0).is_empty());
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn preemption_evicts_the_policy_worst_request_only_when_more_urgent() {
+        // EDF: a tight-deadline newcomer displaces the deadline-less victim.
+        let mut s = policy_scheduler(SchedulingPolicy::Edf, 4);
+        s.submit(request(0, 128)).unwrap(); // no deadline
+        s.submit(request(1, 128).with_deadline_ns(5_000.0)).unwrap();
+        let urgent = request(2, 128).with_deadline_ns(1_000.0);
+        let victim = s.preempt_for(&urgent).unwrap();
+        assert_eq!(victim.id, 0);
+        assert_eq!(s.queue_len(), 1);
+        // A looser newcomer than every queued request preempts nothing.
+        let loose = request(3, 128).with_deadline_ns(9e9);
+        assert!(s.preempt_for(&loose).is_none());
+        assert_eq!(s.queue_len(), 1);
+        // FCFS: the newcomer is always the policy-worst, so never preempts.
+        let mut s = policy_scheduler(SchedulingPolicy::Fcfs, 4);
+        s.submit(request(0, 128)).unwrap();
+        assert!(s.preempt_for(&request(9, 128)).is_none());
+        // Empty queue: nothing to evict.
+        let mut s = policy_scheduler(SchedulingPolicy::Edf, 4);
+        assert!(s.preempt_for(&urgent).is_none());
+    }
+
+    #[test]
+    fn front_arrival_matches_oldest_under_sorted_submission() {
+        let mut s = scheduler(2, 1);
+        assert_eq!(s.front_arrival_ns(), None);
+        for id in 0..6 {
+            s.submit(request(id, 128)).unwrap();
+        }
+        while s.queue_len() > 0 {
+            assert_eq!(s.front_arrival_ns(), s.oldest_arrival_ns());
+            s.next_batch().unwrap();
+        }
+        assert_eq!(s.front_arrival_ns(), None);
     }
 
     fn policy_scheduler(policy: SchedulingPolicy, max_batch_size: usize) -> BatchScheduler {

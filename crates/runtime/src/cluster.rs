@@ -139,6 +139,10 @@ pub struct ClusterReport {
     pub offered_qps: f64,
     /// Completed requests per simulated second.
     pub achieved_qps: f64,
+    /// Goodput under SLO: *useful* completions per simulated second, where
+    /// a completion is useful if it met its deadline or carried no SLO.
+    /// Equals `achieved_qps` when no request carries an SLO.
+    pub goodput_qps: f64,
     /// End-to-end request latency distribution.
     pub latency: crate::serving::LatencySummary,
     /// Fraction of deadline-carrying requests that completed by their
@@ -493,6 +497,8 @@ impl<B: Backend + 'static> ClusterSim<B> {
             })
             .collect();
         let mean_chip_utilization = per_chip_utilization.iter().sum::<f64>() / self.chips as f64;
+        // A completion is useful unless it carried a deadline and missed it.
+        let useful = completed - (outcome.slo_tracked - outcome.slo_met);
         let report = ClusterReport {
             chips: self.chips,
             dispatch: self.dispatch,
@@ -502,6 +508,11 @@ impl<B: Backend + 'static> ClusterSim<B> {
             offered_qps: self.sim.config().qps,
             achieved_qps: if sim_seconds > 0.0 {
                 completed as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            goodput_qps: if sim_seconds > 0.0 {
+                useful as f64 / sim_seconds
             } else {
                 0.0
             },
@@ -627,6 +638,7 @@ mod tests {
         assert_eq!(cluster_report.completed, single.completed);
         assert_eq!(cluster_report.batches, single.batches);
         assert_eq!(cluster_report.latency, single.latency);
+        assert_eq!(cluster_report.goodput_qps, single.goodput_qps);
         assert_eq!(cluster_report.sim_seconds, single.sim_seconds);
         assert_eq!(cluster_report.mean_batch_size, single.mean_batch_size);
         assert_eq!(cluster_report.mean_queue_ms, single.mean_queue_ms);

@@ -27,6 +27,15 @@
 //! * [`cluster`] — [`ClusterSim`]: the same engine
 //!   over N backend replicas behind a round-robin or join-shortest-queue
 //!   dispatcher (`fig20_serving_policies`, `examples/cluster_serving.rs`).
+//! * [`traffic`] — [`RequestTrace`]: open-loop arrival generation — seeded
+//!   deterministic MMPP and gamma-burst processes under piecewise diurnal
+//!   rate curves, streaming to 10⁶–10⁷ requests in O(1) memory.
+//! * [`overload`] — [`OverloadSim`]: overload survival over a
+//!   chip-heterogeneous fleet — admission control (token-bucket /
+//!   queue-depth), deadline-aware shedding, policy-driven preemption, and a
+//!   reactive autoscaler — reporting p99.9 tails, goodput under SLO, and
+//!   per-phase (burst vs. trough) breakdowns (`fig21_overload_survival`,
+//!   `examples/open_loop_traffic.rs`).
 //!
 //! The whole execution layer is **backend-generic**: the scheduler, the
 //! serving simulators, and [`par_backend_eval`]
@@ -38,19 +47,28 @@
 pub mod batch;
 pub mod cluster;
 pub mod error;
+pub mod overload;
 pub mod policy;
 pub mod pool;
 pub mod serving;
 pub mod sweep;
+pub mod traffic;
 
 pub use batch::{Batch, BatchScheduler, InferenceRequest, SchedulerConfig};
 pub use cluster::{BatchTrace, ClusterConfig, ClusterReport, ClusterSim, DispatchPolicy};
 pub use error::RuntimeError;
 pub use hyflex_pim::backend::{Backend, HyFlexPim};
+pub use overload::{
+    AdmissionPolicy, AutoscaleEvent, AutoscalerConfig, OverloadConfig, OverloadReport, OverloadSim,
+    PhaseReport,
+};
 pub use policy::SchedulingPolicy;
 pub use pool::{JobPool, PoolScope};
 pub use serving::{LatencySummary, RequestClass, ServingConfig, ServingReport, ServingSim};
 pub use sweep::{par_backend_eval, par_noise_sweep, par_perf_eval};
+pub use traffic::{
+    ArrivalProcess, MmppState, RatePhase, RequestTrace, TrafficConfig, TrafficStream,
+};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

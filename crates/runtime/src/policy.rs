@@ -22,6 +22,7 @@
 
 use hyflex_pim::backend::InferenceRequest;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Order in which queued requests are admitted into the next batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -90,6 +91,22 @@ impl SchedulingPolicy {
             }
         }
     }
+
+    /// Index of the queued request this policy ranks *last* — the one every
+    /// other queued request would be served before, and therefore the
+    /// preemption victim when an admission gate must make room (see
+    /// [`BatchScheduler::preempt_for`](crate::batch::BatchScheduler::preempt_for)).
+    /// `None` for an empty queue. Deterministic through the same
+    /// arrival-then-id tie-breaks as [`SchedulingPolicy::before`].
+    pub(crate) fn victim_index(&self, queue: &VecDeque<InferenceRequest>) -> Option<usize> {
+        let mut worst: Option<usize> = None;
+        for (index, request) in queue.iter().enumerate() {
+            if worst.is_none_or(|w| self.before(&queue[w], request)) {
+                worst = Some(index);
+            }
+        }
+        worst
+    }
 }
 
 impl std::fmt::Display for SchedulingPolicy {
@@ -143,6 +160,21 @@ mod tests {
         // Equal deadlines fall back to arrival order.
         let tight2 = req(7, 20.0).with_deadline_ns(100.0);
         assert!(p.before(&tight, &tight2));
+    }
+
+    #[test]
+    fn victim_index_picks_the_policy_worst_request() {
+        let mut queue: VecDeque<InferenceRequest> = VecDeque::new();
+        assert_eq!(SchedulingPolicy::Fcfs.victim_index(&queue), None);
+        queue.push_back(req(0, 5.0).with_deadline_ns(100.0));
+        queue.push_back(req(1, 1.0)); // no deadline
+        queue.push_back(req(2, 9.0).with_deadline_ns(50.0).with_priority(3));
+        // FCFS: the latest arrival is served last.
+        assert_eq!(SchedulingPolicy::Fcfs.victim_index(&queue), Some(2));
+        // EDF: the deadline-less request sorts last.
+        assert_eq!(SchedulingPolicy::Edf.victim_index(&queue), Some(1));
+        // Priority: the highest priority value sorts last.
+        assert_eq!(SchedulingPolicy::Priority.victim_index(&queue), Some(2));
     }
 
     #[test]

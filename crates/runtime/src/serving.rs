@@ -126,6 +126,15 @@ impl Default for ServingConfig {
 }
 
 /// Latency distribution of a run, milliseconds.
+///
+/// Percentiles use the **nearest-rank** method on the ascending-sorted
+/// sample: `p(q) = x[⌈q·n⌉]` (1-indexed), so every reported percentile is
+/// an actually-observed latency, with no interpolation. Nearest rank is
+/// only meaningful once the sample can resolve the quantile — for
+/// `n < 1/(1−q)` the rank clamps to `n` and the "percentile" silently
+/// degenerates to the maximum. The low quantiles (p50/p95/p99) are always
+/// reported; the p99.9 tail is `Option` and stays `None` until the run
+/// completed at least 1000 requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencySummary {
     /// Median latency.
@@ -134,6 +143,10 @@ pub struct LatencySummary {
     pub p95_ms: f64,
     /// 99th-percentile latency.
     pub p99_ms: f64,
+    /// 99.9th-percentile latency, or `None` when the run completed fewer
+    /// than 1000 requests (`1/(1−0.999)` — the smallest sample whose
+    /// nearest-rank p99.9 is distinguishable from the maximum).
+    pub p999_ms: Option<f64>,
     /// Mean latency.
     pub mean_ms: f64,
     /// Worst-case latency.
@@ -153,6 +166,10 @@ pub struct ServingReport {
     pub offered_qps: f64,
     /// Completed requests per simulated second.
     pub achieved_qps: f64,
+    /// Goodput under SLO: *useful* completions per simulated second, where
+    /// a completion is useful if it met its deadline or carried no SLO.
+    /// Equals `achieved_qps` when no request carries an SLO.
+    pub goodput_qps: f64,
     /// End-to-end request latency distribution.
     pub latency: LatencySummary,
     /// Fraction of deadline-carrying requests that completed by their
@@ -377,6 +394,8 @@ impl<B: Backend + 'static> ServingSim<B> {
         // the first exponential inter-arrival sample).
         let sim_seconds = (outcome.last_completion_ns - span_start).max(0.0) * 1e-9;
         let chip = outcome.chips[0].clone();
+        // A completion is useful unless it carried a deadline and missed it.
+        let useful = completed - (outcome.slo_tracked - outcome.slo_met);
         let report = ServingReport {
             completed,
             batches: chip.batches,
@@ -384,6 +403,11 @@ impl<B: Backend + 'static> ServingSim<B> {
             offered_qps: self.config.qps,
             achieved_qps: if sim_seconds > 0.0 {
                 completed as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            goodput_qps: if sim_seconds > 0.0 {
+                useful as f64 / sim_seconds
             } else {
                 0.0
             },
@@ -411,6 +435,7 @@ pub(crate) fn latency_summary(mut latencies_ns: Vec<f64>) -> LatencySummary {
         p50_ms: percentile_ns(&latencies_ns, 0.50) / 1e6,
         p95_ms: percentile_ns(&latencies_ns, 0.95) / 1e6,
         p99_ms: percentile_ns(&latencies_ns, 0.99) / 1e6,
+        p999_ms: (latencies_ns.len() >= 1000).then(|| percentile_ns(&latencies_ns, 0.999) / 1e6),
         mean_ms: latencies_ns.iter().sum::<f64>() / latencies_ns.len() as f64 / 1e6,
         max_ms: latencies_ns.last().copied().unwrap_or(0.0) / 1e6,
     }
@@ -802,5 +827,46 @@ mod tests {
         assert_eq!(percentile_ns(&sorted, 0.99), 4.0);
         assert_eq!(percentile_ns(&[], 0.5), 0.0);
         assert_eq!(latency_summary(Vec::new()), LatencySummary::default());
+    }
+
+    #[test]
+    fn p999_is_none_until_the_sample_supports_it() {
+        // 999 samples cannot resolve a nearest-rank p99.9 (the rank clamps
+        // to the maximum); 1000 is the smallest sample that can.
+        let small: Vec<f64> = (1..=999).map(|v| v as f64 * 1e6).collect();
+        assert_eq!(latency_summary(small).p999_ms, None);
+        let full: Vec<f64> = (1..=1000).map(|v| v as f64 * 1e6).collect();
+        let summary = latency_summary(full);
+        // ceil(0.999 * 1000) = 999 → the 999th smallest value, not the max.
+        assert_eq!(summary.p999_ms, Some(999.0));
+        assert_eq!(summary.max_ms, 1000.0);
+        // Ordered within the summary when present.
+        assert!(summary.p99_ms <= summary.p999_ms.unwrap());
+        assert!(summary.p999_ms.unwrap() <= summary.max_ms);
+    }
+
+    #[test]
+    fn goodput_counts_only_useful_completions() {
+        // No SLOs anywhere: every completion is useful.
+        let report = sim(500.0, 8, 300).run().unwrap();
+        assert_eq!(report.goodput_qps, report.achieved_qps);
+        // An SLO tighter than the single-request latency: every completion
+        // misses, so the run achieves throughput but zero goodput.
+        let impossible = ServingConfig {
+            qps: 100.0,
+            num_requests: 150,
+            slo_ns: 1.0, // 1 ns
+            ..ServingConfig::default()
+        };
+        let report = ServingSim::new(
+            PerformanceModel::paper_default(),
+            ModelConfig::bert_base(),
+            impossible,
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(report.achieved_qps > 0.0);
+        assert_eq!(report.goodput_qps, 0.0);
     }
 }

@@ -237,7 +237,118 @@ fn determinism_cluster_serving_is_reproducible_and_one_chip_matches_single() {
     }
 }
 
+#[test]
+fn determinism_overload_runs_conserve_requests_and_reproduce() {
+    // The open-loop overload engine is an exact function of its seed, and
+    // every offered request is accounted for exactly once after the final
+    // drain: offered = admitted + rejected, admitted = completed + shed +
+    // preempted. CI runs this under RUST_TEST_THREADS at both 1 and the
+    // default, so the engine cannot hide scheduling dependence.
+    use hyflex_pim::backend::HyFlexPim;
+    use hyflex_runtime::{
+        AdmissionPolicy, ArrivalProcess, MmppState, OverloadConfig, OverloadSim, RequestClass,
+        RequestTrace, SchedulerConfig, SchedulingPolicy, TrafficConfig,
+    };
+
+    let run = || {
+        let trace = RequestTrace::new(TrafficConfig {
+            process: ArrivalProcess::Mmpp {
+                states: vec![
+                    MmppState::new("burst", 60_000.0, 0.01),
+                    MmppState::new("trough", 12_000.0, 0.02),
+                ],
+            },
+            num_requests: 4000,
+            classes: vec![
+                RequestClass::new(64, 3.0).with_slo_ns(3e6),
+                RequestClass::new(256, 1.0).with_priority(1),
+            ],
+            seed: 97,
+            ..TrafficConfig::default()
+        })
+        .unwrap();
+        OverloadSim::with_backend(
+            HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap(),
+            OverloadConfig {
+                scheduler: SchedulerConfig {
+                    policy: SchedulingPolicy::Edf,
+                    ..SchedulerConfig::default()
+                },
+                admission: AdmissionPolicy::QueueDepth {
+                    max_outstanding: 96,
+                },
+                shed: true,
+                preempt: true,
+                ..OverloadConfig::new(trace)
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap()
+    };
+    let report = run();
+    assert_eq!(report.offered, 4000);
+    assert_eq!(report.offered, report.admitted + report.rejected);
+    assert_eq!(
+        report.admitted,
+        report.completed + report.shed + report.preempted
+    );
+    assert!(report.shed > 0 && report.rejected > 0);
+    assert_eq!(
+        report,
+        run(),
+        "overload run is not a pure function of the seed"
+    );
+}
+
 proptest! {
+    #[test]
+    fn determinism_mmpp_traces_are_bit_identical_for_a_seed(
+        seed in any::<u64>(),
+        burst_qps in 1e3f64..1e5,
+        dwell_ms in 1.0f64..50.0,
+        n in 50usize..400,
+    ) {
+        use hyflex_runtime::{ArrivalProcess, MmppState, RequestTrace, TrafficConfig};
+        let make = || RequestTrace::new(TrafficConfig {
+            process: ArrivalProcess::Mmpp {
+                states: vec![
+                    MmppState::new("burst", burst_qps, dwell_ms * 1e-3),
+                    MmppState::new("trough", burst_qps * 0.2, dwell_ms * 2e-3),
+                ],
+            },
+            num_requests: n,
+            seed,
+            ..TrafficConfig::default()
+        }).unwrap();
+        let a: Vec<_> = make().stream().collect();
+        let b: Vec<_> = make().stream().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn determinism_gamma_traces_are_bit_identical_for_a_seed(
+        seed in any::<u64>(),
+        qps in 1e2f64..1e5,
+        shape in 0.1f64..8.0,
+        n in 50usize..400,
+    ) {
+        use hyflex_runtime::{ArrivalProcess, RatePhase, RequestTrace, TrafficConfig};
+        let make = || RequestTrace::new(TrafficConfig {
+            process: ArrivalProcess::GammaBurst { qps, shape },
+            rate_curve: vec![
+                RatePhase::new("am", 0.02, 0.6),
+                RatePhase::new("pm", 0.03, 1.4),
+            ],
+            num_requests: n,
+            seed,
+            ..TrafficConfig::default()
+        }).unwrap();
+        let a: Vec<_> = make().stream().collect();
+        let b: Vec<_> = make().stream().collect();
+        prop_assert_eq!(a, b);
+    }
+
     #[test]
     fn determinism_par_map_equals_serial_map(
         values in proptest::collection::vec(any::<u64>(), 1..200usize),
