@@ -1,0 +1,176 @@
+//! Analog in-memory attention over a runtime-programmed KV cache.
+//!
+//! Models the serving-oriented designs of Leroux et al. (arXiv:2409.19315)
+//! and Moradifirouzabadi et al. (arXiv:2409.04940): the attention score and
+//! context products execute *inside* analog crossbars, against key/value
+//! operands that are programmed into the arrays at runtime as the sequence
+//! grows. Linear layers stay all-SLC INT8 (ASADI-style); the defining trade
+//! is that cheap in-memory attention reads are bought with RRAM programming
+//! of every cached K/V row.
+//!
+//! That trade is exactly backwards for the prefill/encoder regime the paper's
+//! figures evaluate — a whole prompt's KV must be programmed for one pass
+//! over it — which is why this design loses the Figure 14/15 comparisons.
+//! It earns its keep in decode serving, where the marginal step programs a
+//! single token and then attends over an already-programmed cache (see
+//! `Backend::evaluate_decode_step`, whose component-wise marginal pricing
+//! charges precisely that).
+
+use crate::Accelerator;
+use hyflex_pim::mapping::kv_token_cost;
+use hyflex_pim::perf::{EvaluationPoint, PerfSummary, PerformanceModel};
+use hyflex_pim::Result;
+use hyflex_transformer::config::ModelConfig;
+
+/// Fraction of the digital-PIM dot-product energy the analog attention path
+/// retains. Charge-domain analog MACs drop the per-operation switching
+/// energy, but the score/context results still pay ADC conversions, which
+/// dominate the residual — both cited designs land near half the digital
+/// energy once conversion overheads are counted.
+pub const ANALOG_ATTENTION_EFFICIENCY: f64 = 0.5;
+
+/// The analog in-memory attention baseline.
+#[derive(Debug, Clone)]
+pub struct AnalogAttention {
+    perf: PerformanceModel,
+}
+
+impl AnalogAttention {
+    /// Creates the baseline on the paper's hardware constants.
+    pub fn new() -> Self {
+        AnalogAttention {
+            perf: PerformanceModel::paper_default(),
+        }
+    }
+
+    /// Linear layers keep the all-SLC mapping (no hybrid protection scheme).
+    fn point(&self, model: &ModelConfig, seq_len: usize) -> EvaluationPoint {
+        EvaluationPoint {
+            model: model.clone(),
+            seq_len,
+            slc_rank_fraction: 1.0,
+        }
+    }
+}
+
+impl Default for AnalogAttention {
+    fn default() -> Self {
+        AnalogAttention::new()
+    }
+}
+
+impl Accelerator for AnalogAttention {
+    fn name(&self) -> &str {
+        "AnalogAttention"
+    }
+
+    /// The all-SLC evaluation with the attention dot products moved into the
+    /// analog arrays: their energy shrinks to [`ANALOG_ATTENTION_EFFICIENCY`]
+    /// of the digital cost, and in exchange every one of the sequence's K/V
+    /// rows is programmed into SLC crossbars at runtime — an
+    /// `analog_rram_write` energy adder and a per-layer write-pulse latency
+    /// adder, both linear in the sequence length.
+    fn perf_summary(&self, model: &ModelConfig, seq_len: usize) -> Result<PerfSummary> {
+        let base = self.perf.evaluate(&self.point(model, seq_len))?;
+        let kv = kv_token_cost(model, self.perf.hw(), self.perf.energy_model())?;
+        let tokens = seq_len as f64;
+        let mut energy = base.energy;
+        energy.attention_dot_product_pj *= ANALOG_ATTENTION_EFFICIENCY;
+        energy.analog_rram_write_pj += tokens * kv.slc_write_pj;
+        let mut latency = base.latency;
+        latency.analog_ns += tokens * kv.slc_write_ns;
+        Ok(PerfSummary::from_parts(
+            energy,
+            latency,
+            base.total_ops,
+            base.area_mm2,
+            base.chips,
+        ))
+    }
+
+    /// The KV cache lives in analog crossbars, so requests are admitted
+    /// against the analog capacity of one PU.
+    fn tile_cells(&self) -> usize {
+        self.perf.hw().analog_cells_per_pu()
+    }
+
+    /// Cells one request's programmed KV occupies: K and V rows for every
+    /// token of every layer, in SLC.
+    fn request_cells(&self, model: &ModelConfig, seq_len: usize) -> usize {
+        let values_per_token = 2 * model.hidden_dim * model.num_layers;
+        seq_len * values_per_token * usize::from(self.perf.hw().weight_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HyFlexPimAccelerator;
+
+    #[test]
+    fn prefill_regime_loses_to_hybrid_hyflexpim() {
+        // Figure 14/15 conditions: BERT-Large at N = 128. Programming the
+        // whole prompt's KV for a single pass costs more than the analog
+        // attention saves, and the all-SLC linear mapping gives up the MLC
+        // density win.
+        let model = ModelConfig::bert_large();
+        let ours = AnalogAttention::new();
+        let hyflex = HyFlexPimAccelerator::new(0.05);
+        assert!(
+            ours.linear_layer_energy_pj(&model, 128).unwrap()
+                > hyflex.linear_layer_energy_pj(&model, 128).unwrap()
+        );
+        assert!(
+            ours.end_to_end_energy(&model, 128).unwrap().total_pj()
+                > hyflex.end_to_end_energy(&model, 128).unwrap().total_pj()
+        );
+    }
+
+    #[test]
+    fn kv_programming_shows_up_as_analog_writes() {
+        let model = ModelConfig::bert_large();
+        let ours = AnalogAttention::new();
+        let short = ours.end_to_end_energy(&model, 64).unwrap();
+        let long = ours.end_to_end_energy(&model, 128).unwrap();
+        // The write adder grows with the sequence, and dominates the
+        // amortized one-time weight programming of the base evaluation.
+        assert!(long.analog_rram_write_pj > 1.9 * short.analog_rram_write_pj);
+        // Attention runs cheaper than the digital-PIM baseline path.
+        let digital = PerformanceModel::paper_default()
+            .evaluate(&EvaluationPoint {
+                model: model.clone(),
+                seq_len: 128,
+                slc_rank_fraction: 1.0,
+            })
+            .unwrap();
+        assert!(long.attention_dot_product_pj < digital.energy.attention_dot_product_pj);
+    }
+
+    #[test]
+    fn decode_step_is_cheap_relative_to_prefill() {
+        use hyflex_pim::backend::Backend;
+        let backend =
+            crate::AcceleratorBackend::new(AnalogAttention::new(), ModelConfig::bert_large());
+        let prefill = backend
+            .evaluate(&hyflex_pim::backend::InferenceRequest::of_len(0, 128))
+            .unwrap();
+        let step = backend.evaluate_decode_step(128, 1).unwrap();
+        // One decoded token programs one token's KV, not 128 of them.
+        assert!(
+            step.single.energy.analog_rram_write_pj < prefill.energy.analog_rram_write_pj / 64.0
+        );
+        assert!(step.single.latency.total_ns() < prefill.latency.total_ns() / 8.0);
+    }
+
+    #[test]
+    fn kv_capacity_bounds_requests() {
+        let model = ModelConfig::bert_large();
+        let ours = AnalogAttention::new();
+        assert!(ours.request_cells(&model, 128) <= ours.tile_cells());
+        // Cache cells grow linearly with context.
+        assert_eq!(
+            ours.request_cells(&model, 128),
+            2 * ours.request_cells(&model, 64)
+        );
+    }
+}

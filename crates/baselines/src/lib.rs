@@ -36,6 +36,7 @@
 //!   [`ModelConfig`] so it satisfies the `hyflex_pim::Backend` trait the
 //!   runtime consumes.
 
+pub mod analog_attention;
 pub mod asadi;
 pub mod nmp;
 pub mod non_pim;
@@ -50,6 +51,7 @@ use hyflex_pim::perf::{self, BatchPerfSummary, EvaluationPoint, PerfSummary, Per
 use hyflex_pim::Result;
 use hyflex_transformer::config::ModelConfig;
 
+pub use analog_attention::{AnalogAttention, ANALOG_ATTENTION_EFFICIENCY};
 pub use asadi::{Asadi, AsadiPrecision};
 pub use nmp::NearMemoryProcessing;
 pub use non_pim::NonPim;

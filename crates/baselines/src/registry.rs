@@ -7,7 +7,7 @@
 //! for the energy/area comparison figures — a boxed [`Accelerator`].
 
 use crate::{
-    Accelerator, AcceleratorBackend, Asadi, AsadiPrecision, HyFlexPimAccelerator,
+    Accelerator, AcceleratorBackend, AnalogAttention, Asadi, AsadiPrecision, HyFlexPimAccelerator,
     NearMemoryProcessing, NonPim, Sprint,
 };
 use hyflex_pim::backend::{Backend, HyFlexPim};
@@ -59,8 +59,10 @@ pub struct BackendRegistry {
 }
 
 impl BackendRegistry {
-    /// The paper's five designs (ASADI in both precisions): `hyflexpim`,
-    /// `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim`.
+    /// The paper's five designs (ASADI in both precisions) — `hyflexpim`,
+    /// `asadi-int8`, `asadi-fp32`, `nmp`, `sprint`, `non-pim` — plus the
+    /// serving-oriented `analog-attention` baseline used by the
+    /// decode-serving study (see [`Self::paper_figure_names`]).
     pub fn paper() -> Self {
         BackendRegistry {
             specs: vec![
@@ -135,8 +137,43 @@ impl BackendRegistry {
                     },
                     accelerator: |_| Box::new(NonPim::new()),
                 },
+                BackendSpec {
+                    name: "analog-attention",
+                    summary: "analog in-memory attention over a runtime-programmed KV cache",
+                    build: |p| {
+                        Ok(Box::new(AcceleratorBackend::new(
+                            AnalogAttention::new(),
+                            p.model.clone(),
+                        )))
+                    },
+                    accelerator: |_| Box::new(AnalogAttention::new()),
+                },
             ],
         }
+    }
+
+    /// The six designs the paper's own figures compare, in figure order.
+    ///
+    /// `analog-attention` is registered for the decode-serving study
+    /// (Figure 22) but is *not* part of the paper's roster; the figure
+    /// binaries that reproduce published plots (14, 15, 19–21) iterate this
+    /// list so their default output is unchanged by serving-only additions.
+    pub fn paper_figure_names(&self) -> Vec<&'static str> {
+        self.specs
+            .iter()
+            .map(|s| s.name)
+            .filter(|n| *n != "analog-attention")
+            .collect()
+    }
+
+    /// [`Self::accelerators`] restricted to the paper-figure roster
+    /// ([`Self::paper_figure_names`]).
+    pub fn paper_figure_accelerators(&self, slc_rank_fraction: f64) -> Vec<Box<dyn Accelerator>> {
+        self.specs
+            .iter()
+            .filter(|s| s.name != "analog-attention")
+            .map(|s| (s.accelerator)(slc_rank_fraction))
+            .collect()
     }
 
     /// The registered specs, in paper-figure order.
@@ -239,10 +276,27 @@ mod tests {
                 "asadi-fp32",
                 "nmp",
                 "sprint",
+                "non-pim",
+                "analog-attention"
+            ]
+        );
+        // The figure roster stays pinned to the paper's six designs so the
+        // published-figure binaries keep their output stable as serving-only
+        // backends are registered.
+        assert_eq!(
+            registry.paper_figure_names(),
+            vec![
+                "hyflexpim",
+                "asadi-int8",
+                "asadi-fp32",
+                "nmp",
+                "sprint",
                 "non-pim"
             ]
         );
+        assert_eq!(registry.paper_figure_accelerators(0.05).len(), 6);
         assert!(registry.contains("sprint"));
+        assert!(registry.contains("analog-attention"));
         assert!(!registry.contains("tpu"));
     }
 

@@ -15,7 +15,11 @@ fn main() {
     // --backend restricts the comparison rows; default shows every design.
     let baselines: Vec<Box<dyn Accelerator>> = match args.selected_backend_or_exit() {
         Some(name) => vec![registry.accelerator(&name, 0.05).expect("name validated")],
-        None => registry.accelerators(0.05).into_iter().skip(1).collect(),
+        None => registry
+            .paper_figure_accelerators(0.05)
+            .into_iter()
+            .skip(1)
+            .collect(),
     };
     let model = ModelConfig::bert_large();
     let lengths = [128usize, 512, 1024, 2048, 4096, 8192];

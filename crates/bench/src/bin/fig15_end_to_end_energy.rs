@@ -33,7 +33,7 @@ fn comparison(model: &ModelConfig, slc_rate: f64, selected: Option<&str>) {
         Some(name) => vec![registry
             .accelerator(name, slc_rate)
             .expect("name validated")],
-        None => registry.accelerators(slc_rate),
+        None => registry.paper_figure_accelerators(slc_rate),
     };
     for accelerator in accelerators {
         let values: Vec<String> = lengths

@@ -38,7 +38,11 @@ fn main() {
     let registry = BackendRegistry::paper();
     let names: Vec<String> = match args.selected_backend_or_exit() {
         Some(name) => vec![name],
-        None => registry.names().iter().map(|n| n.to_string()).collect(),
+        None => registry
+            .paper_figure_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect(),
     };
     let seed = args.seed_or(19);
 

@@ -71,7 +71,11 @@ fn main() {
     args.init_output();
     let registry = BackendRegistry::paper();
     let names: Vec<String> = match args.backend.as_deref() {
-        None | Some("all") => registry.names().iter().map(|n| n.to_string()).collect(),
+        None | Some("all") => registry
+            .paper_figure_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect(),
         Some(_) => vec![args.backend_or_exit("hyflexpim")],
     };
     let seed = args.seed_or(20);

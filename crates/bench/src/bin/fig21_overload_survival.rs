@@ -242,7 +242,11 @@ fn main() {
     // ---- (b) Cross-backend shed/no-shed sweep ----------------------------
     let registry = BackendRegistry::paper();
     let names: Vec<String> = match args.backend.as_deref() {
-        None | Some("all") => registry.names().iter().map(|n| n.to_string()).collect(),
+        None | Some("all") => registry
+            .paper_figure_names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect(),
         Some(_) => vec![args.backend_or_exit("hyflexpim")],
     };
     emitln!("\n(b) Shed vs no-shed at {OVERLOAD}x matched overload, {n_sweep} requests per run:");
@@ -341,6 +345,7 @@ fn main() {
                 actuation_lag_s: 0.05,
                 scale_up_outstanding: 48.0,
                 scale_down_outstanding: 4.0,
+                ewma_alpha: None,
             }),
             ..OverloadConfig::new(trace)
         },

@@ -22,13 +22,15 @@
 //! * `--dispatch NAME` — cluster request routing (`round-robin`/`rr`,
 //!   `jsq`/`shortest-queue`);
 //! * `--requests N` — request count for open-loop traffic binaries;
+//! * `--trace PATH` — workload trace file for open-loop traffic binaries
+//!   (see [`RequestTrace::parse`] for the format);
 //! * `--smoke` — shrink an experiment to a seconds-scale CI smoke run.
 
 use crate::output;
 use hyflex_baselines::{BackendRegistry, SystemBuilder};
 use hyflex_pim::backend::Backend;
 use hyflex_rram::cell::CellMode;
-use hyflex_runtime::{DispatchPolicy, JobPool, SchedulingPolicy};
+use hyflex_runtime::{DispatchPolicy, JobPool, RequestTrace, SchedulingPolicy};
 use hyflex_tensor::SvdAlgorithm;
 use hyflex_transformer::ModelConfig;
 use std::path::PathBuf;
@@ -56,6 +58,8 @@ pub struct BinArgs {
     pub dispatch: Option<String>,
     /// `--requests N`: request count for open-loop traffic binaries.
     pub requests: Option<usize>,
+    /// `--trace PATH`: workload trace file for open-loop traffic binaries.
+    pub trace: Option<PathBuf>,
     /// `--smoke`: shrink the experiment to a seconds-scale CI smoke run.
     pub smoke: bool,
 }
@@ -88,6 +92,7 @@ impl BinArgs {
         parsed.chips = value_of("--chips").and_then(|v| v.parse().ok());
         parsed.dispatch = value_of("--dispatch").cloned();
         parsed.requests = value_of("--requests").and_then(|v| v.parse().ok());
+        parsed.trace = value_of("--trace").map(PathBuf::from);
         parsed.smoke = args.iter().any(|a| a == "--smoke");
         parsed
     }
@@ -293,6 +298,32 @@ impl BinArgs {
         self.requests.filter(|&n| n > 0).unwrap_or(default)
     }
 
+    /// The `--trace` workload loaded from its file, or `default()` when the
+    /// flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RequestTrace::from_file`] errors (unreadable path,
+    /// malformed workload line) unchanged.
+    pub fn trace_or(
+        &self,
+        default: impl FnOnce() -> RequestTrace,
+    ) -> hyflex_runtime::Result<RequestTrace> {
+        match &self.trace {
+            None => Ok(default()),
+            Some(path) => RequestTrace::from_file(path),
+        }
+    }
+
+    /// Binary-facing variant of [`BinArgs::trace_or`]: prints the error and
+    /// exits with status 2 instead of returning it.
+    pub fn trace_or_exit(&self, default: impl FnOnce() -> RequestTrace) -> RequestTrace {
+        self.trace_or(default).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    }
+
     /// The MLC cell mode selected by `--mlc-bits` (default 2-bit).
     pub fn mlc_mode(&self) -> CellMode {
         match self.mlc_bits {
@@ -426,6 +457,34 @@ mod tests {
             err.contains("lapack") && err.contains("randomized"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn trace_flag_loads_workload_files() {
+        // Absent flag: the default closure supplies the workload.
+        let args = parse(&[]);
+        let fallback = args
+            .trace_or(|| {
+                RequestTrace::new(hyflex_runtime::TrafficConfig {
+                    num_requests: 11,
+                    ..Default::default()
+                })
+                .unwrap()
+            })
+            .unwrap();
+        assert_eq!(fallback.collect().len(), 11);
+        // Present flag: the file wins over the default.
+        let dir =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cli_flag.trace");
+        std::fs::write(&path, "process = poisson qps=4000\nnum_requests = 7\n").unwrap();
+        let args = parse(&["--trace", path.to_str().unwrap()]);
+        let loaded = args.trace_or(|| unreachable!("flag present")).unwrap();
+        assert_eq!(loaded.collect().len(), 7);
+        // Unreadable paths surface the loader's error.
+        let args = parse(&["--trace", "/nonexistent/x.trace"]);
+        assert!(args.trace_or(|| unreachable!("flag present")).is_err());
     }
 
     #[test]

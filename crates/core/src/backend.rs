@@ -151,6 +151,47 @@ pub trait Backend: Send + Sync + std::fmt::Debug {
     /// Returns [`PimError::EmptyBatch`] for `batch_size == 0` and propagates
     /// single-request evaluation errors.
     fn evaluate_batched(&self, seq_len: usize, batch_size: usize) -> Result<BatchPerfSummary>;
+
+    /// Prices one autoregressive **decode iteration**: `batch_size` requests
+    /// each generate their next token against a cached context of
+    /// `context_len` tokens (the newest token included), sharing one pass
+    /// over the static weights.
+    ///
+    /// The default prices the step as the *marginal* cost of the newest
+    /// token — `evaluate(context_len) − evaluate(context_len − 1)`,
+    /// component-wise (see [`marginal_decode_summary`]) — pipelined across
+    /// the batch at a one-token shape. A context of one token (the first
+    /// decode after an empty prefill) costs a full one-token evaluation.
+    /// Backends that execute attention differently in the decode regime
+    /// (e.g. analog in-memory attention over a runtime-programmed KV cache)
+    /// override this.
+    ///
+    /// [`marginal_decode_summary`]: crate::perf::marginal_decode_summary
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PimError::InvalidConfig`] for a zero context,
+    /// [`PimError::EmptyBatch`] for `batch_size == 0`, and propagates
+    /// evaluation errors.
+    fn evaluate_decode_step(
+        &self,
+        context_len: usize,
+        batch_size: usize,
+    ) -> Result<BatchPerfSummary> {
+        if context_len == 0 {
+            return Err(PimError::InvalidConfig(
+                "decode step needs a context of at least one token".to_string(),
+            ));
+        }
+        let full = self.evaluate(&InferenceRequest::of_len(0, context_len))?;
+        let marginal = if context_len == 1 {
+            full
+        } else {
+            let prev = self.evaluate(&InferenceRequest::of_len(0, context_len - 1))?;
+            crate::perf::marginal_decode_summary(&full, &prev)
+        };
+        crate::perf::pipelined_batch(marginal, self.model().num_layers, 1, batch_size)
+    }
 }
 
 macro_rules! forward_backend {
@@ -177,6 +218,15 @@ macro_rules! forward_backend {
                 batch_size: usize,
             ) -> Result<BatchPerfSummary> {
                 (**self).evaluate_batched(seq_len, batch_size)
+            }
+            // Forwarded explicitly so overrides of the provided default stay
+            // visible through trait objects and smart pointers.
+            fn evaluate_decode_step(
+                &self,
+                context_len: usize,
+                batch_size: usize,
+            ) -> Result<BatchPerfSummary> {
+                (**self).evaluate_decode_step(context_len, batch_size)
             }
         }
     };
@@ -340,6 +390,32 @@ mod tests {
         // Plain scalars: requests are passed by value in the hot loops.
         let copy = tagged;
         assert_eq!(copy, tagged);
+    }
+
+    #[test]
+    fn decode_step_prices_the_marginal_token() {
+        let backend = HyFlexPim::paper(ModelConfig::bert_large(), 0.05).unwrap();
+        let step = backend.evaluate_decode_step(128, 1).unwrap();
+        let full = backend.evaluate(&InferenceRequest::of_len(0, 128)).unwrap();
+        // One token costs a fraction of the whole 128-token context.
+        assert!(step.single.latency.total_ns() > 0.0);
+        assert!(step.single.latency.total_ns() < full.latency.total_ns());
+        assert!(step.single.energy.total_pj() > 0.0);
+        assert!(step.single.energy.total_pj() < full.energy.total_pj());
+        // Iteration-level batching amortizes the layer pipeline.
+        let b8 = backend.evaluate_decode_step(128, 8).unwrap();
+        assert!(b8.requests_per_s > step.requests_per_s);
+        assert!(b8.makespan_ns < 8.0 * step.makespan_ns);
+        // A context of one token prices a full one-token evaluation.
+        let first = backend.evaluate_decode_step(1, 1).unwrap();
+        let one = backend.evaluate(&InferenceRequest::of_len(0, 1)).unwrap();
+        assert_eq!(first.single, one);
+        // Degenerate shapes are typed errors, never NaNs.
+        assert!(backend.evaluate_decode_step(0, 1).is_err());
+        assert!(backend.evaluate_decode_step(128, 0).is_err());
+        // Trait objects forward to the same pricing.
+        let arced: std::sync::Arc<dyn Backend> = std::sync::Arc::new(backend);
+        assert_eq!(arced.evaluate_decode_step(128, 8).unwrap(), b8);
     }
 
     #[test]

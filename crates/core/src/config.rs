@@ -24,6 +24,16 @@ pub const ANALOG_READ_CYCLE_NS: f64 = 100.0;
 /// Digital clock period in nanoseconds.
 pub const DIGITAL_CYCLE_NS: f64 = 1.0;
 
+/// Duration of one RRAM programming pulse, nanoseconds.
+///
+/// SET/RESET pulses are the same order as the crossbar read cycle
+/// ([`ANALOG_READ_CYCLE_NS`]); a write's total latency is this duration times
+/// the mode's program-and-verify iteration count
+/// (`hyflex_rram::cell::CellMode::write_pulses`): one pulse for SLC, four for
+/// the paper's 2-bit MLC. Cells of one word line program in parallel, so a
+/// row write costs `write_pulses × RRAM_WRITE_PULSE_NS` regardless of width.
+pub const RRAM_WRITE_PULSE_NS: f64 = 100.0;
+
 /// HyFlexPIM chip configuration.
 ///
 /// Defaults follow Table 2 and Section 5.4 of the paper. Fields are public so

@@ -92,6 +92,33 @@ impl EnergyBreakdown {
         self.digital_mac_pj += other.digital_mac_pj;
     }
 
+    /// Component-wise difference clamped at zero: the marginal energy of a
+    /// larger evaluation over a smaller one of the same deployment. Used by
+    /// the decode-step pricing in [`crate::perf`], where every component of
+    /// the longer-context evaluation is ≥ its shorter-context counterpart,
+    /// so the clamp only guards floating-point cancellation noise.
+    pub fn saturating_sub(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        let sub = |a: f64, b: f64| (a - b).max(0.0);
+        EnergyBreakdown {
+            linear_adc_pj: sub(self.linear_adc_pj, other.linear_adc_pj),
+            analog_rram_read_pj: sub(self.analog_rram_read_pj, other.analog_rram_read_pj),
+            analog_rram_write_pj: sub(self.analog_rram_write_pj, other.analog_rram_write_pj),
+            sh_sa_pj: sub(self.sh_sa_pj, other.sh_sa_pj),
+            analog_wldrv_pj: sub(self.analog_wldrv_pj, other.analog_wldrv_pj),
+            attention_dot_product_pj: sub(
+                self.attention_dot_product_pj,
+                other.attention_dot_product_pj,
+            ),
+            sfu_pj: sub(self.sfu_pj, other.sfu_pj),
+            digital_rram_write_pj: sub(self.digital_rram_write_pj, other.digital_rram_write_pj),
+            digital_wldrv_pj: sub(self.digital_wldrv_pj, other.digital_wldrv_pj),
+            sram_access_pj: sub(self.sram_access_pj, other.sram_access_pj),
+            dram_access_pj: sub(self.dram_access_pj, other.dram_access_pj),
+            interconnect_pj: sub(self.interconnect_pj, other.interconnect_pj),
+            digital_mac_pj: sub(self.digital_mac_pj, other.digital_mac_pj),
+        }
+    }
+
     /// Returns the breakdown scaled by a constant factor.
     pub fn scaled(&self, factor: f64) -> EnergyBreakdown {
         let mut out = *self;

@@ -55,6 +55,7 @@ pub use backend::{Backend, HyFlexPim, InferenceRequest};
 pub use config::HyFlexPimConfig;
 pub use error::PimError;
 pub use gradient_redistribution::{GradientRedistribution, RedistributionReport};
+pub use mapping::{kv_token_cost, KvTokenCost};
 pub use noise_sim::{HybridMappingSpec, NoiseSimulator, SweepOutcome, SweepPoint};
 pub use perf::{BatchPerfSummary, EvaluationPoint, PerformanceModel};
 pub use selection::SelectionStrategy;

@@ -167,6 +167,62 @@ pub fn map_block(
         .collect()
 }
 
+/// Physical cost of caching one decoded token's K and V vectors across all
+/// layers, in each cell mode.
+///
+/// Decode serving appends `2 · hidden_dim · num_layers` INT8 values per token
+/// (one key and one value row per layer). SLC stores each value in 8 cells
+/// programmed with a single pulse; 2-bit MLC halves the cells but needs four
+/// program-and-verify pulses, so MLC appends are denser yet slower and more
+/// energy-hungry per value — the trade the KV placement policies in
+/// `hyflex-runtime` arbitrate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvTokenCost {
+    /// INT8 values cached per token (`2 · hidden_dim · num_layers`).
+    pub values: usize,
+    /// Cells consumed per token when stored in SLC.
+    pub slc_cells: usize,
+    /// Cells consumed per token when stored in MLC.
+    pub mlc_cells: usize,
+    /// Energy to program one token's K/V into SLC, picojoules.
+    pub slc_write_pj: f64,
+    /// Energy to program one token's K/V into MLC, picojoules.
+    pub mlc_write_pj: f64,
+    /// Latency of an SLC append on the decode critical path, nanoseconds.
+    /// One row write per layer; rows program pulse-parallel across cells.
+    pub slc_write_ns: f64,
+    /// Latency of an MLC append (or demotion rewrite), nanoseconds.
+    pub mlc_write_ns: f64,
+}
+
+/// Computes the per-token KV-cache cost for `model` on `hw`.
+///
+/// # Errors
+///
+/// Returns configuration errors from an invalid hardware description.
+pub fn kv_token_cost(
+    model: &ModelConfig,
+    hw: &HyFlexPimConfig,
+    energy: &EnergyModel,
+) -> Result<KvTokenCost> {
+    hw.validate()?;
+    let values = 2 * model.hidden_dim * model.num_layers;
+    let slc_cells = values * hw.slc_cells_per_weight();
+    let mlc_cells = values * hw.mlc_cells_per_weight();
+    let slc_pulses = f64::from(hyflex_rram::cell::CellMode::Slc.write_pulses());
+    let mlc_pulses = f64::from(hw.mlc_mode.write_pulses());
+    let per_layer_rows = model.num_layers as f64;
+    Ok(KvTokenCost {
+        values,
+        slc_cells,
+        mlc_cells,
+        slc_write_pj: energy.array_write_pj(slc_cells, false),
+        mlc_write_pj: energy.array_write_pj(mlc_cells, true),
+        slc_write_ns: per_layer_rows * slc_pulses * crate::config::RRAM_WRITE_PULSE_NS,
+        mlc_write_ns: per_layer_rows * mlc_pulses * crate::config::RRAM_WRITE_PULSE_NS,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +306,21 @@ mod tests {
             arrays <= arrays_per_pu,
             "BERT-Base block needs {arrays} arrays, PU has {arrays_per_pu}"
         );
+    }
+
+    #[test]
+    fn kv_token_cost_trades_density_against_write_speed() {
+        let (model, hw, energy) = setup();
+        let kv = kv_token_cost(&model, &hw, &energy).unwrap();
+        assert_eq!(kv.values, 2 * model.hidden_dim * model.num_layers);
+        // SLC needs twice the cells of 2-bit MLC.
+        assert_eq!(kv.slc_cells, 2 * kv.mlc_cells);
+        // ...but MLC programming is slower (4x pulses) and costs more energy
+        // overall (4x per-cell energy on half the cells).
+        assert!(kv.mlc_write_ns > kv.slc_write_ns);
+        assert!((kv.mlc_write_ns / kv.slc_write_ns - 4.0).abs() < 1e-9);
+        assert!(kv.mlc_write_pj > kv.slc_write_pj);
+        assert!(kv.slc_write_ns > 0.0);
     }
 
     #[test]

@@ -590,6 +590,42 @@ pub fn batch_summary_from_interval(
     })
 }
 
+/// Marginal cost of the newest token in an autoregressive decode step: the
+/// component-wise difference between evaluating the deployment at context
+/// length `L` (`full`) and at `L − 1` (`prev`), reassembled through
+/// [`PerfSummary::from_parts`].
+///
+/// Both inputs must come from the *same* deployment (model, hardware,
+/// mapping) so every energy/latency component of `full` dominates its `prev`
+/// counterpart; the saturating subtraction then only absorbs floating-point
+/// cancellation noise, and components that do not scale with context (e.g.
+/// amortized weight programming) subtract to exactly `0.0`. Area and chip
+/// count are carried from `full` unchanged — decode does not shrink the
+/// deployment.
+///
+/// This is the default pricing behind [`Backend::evaluate_decode_step`]
+/// (`crate::backend`): one decode iteration at context `L` costs what
+/// extending a prefill from `L − 1` to `L` tokens costs.
+///
+/// [`Backend::evaluate_decode_step`]: crate::backend::Backend::evaluate_decode_step
+pub fn marginal_decode_summary(full: &PerfSummary, prev: &PerfSummary) -> PerfSummary {
+    let sub = |a: f64, b: f64| (a - b).max(0.0);
+    let latency = LatencyBreakdown {
+        analog_ns: sub(full.latency.analog_ns, prev.latency.analog_ns),
+        digital_ns: sub(full.latency.digital_ns, prev.latency.digital_ns),
+        sfu_ns: sub(full.latency.sfu_ns, prev.latency.sfu_ns),
+        interconnect_ns: sub(full.latency.interconnect_ns, prev.latency.interconnect_ns),
+        queueing_ns: sub(full.latency.queueing_ns, prev.latency.queueing_ns),
+    };
+    PerfSummary::from_parts(
+        full.energy.saturating_sub(&prev.energy),
+        latency,
+        full.total_ops.saturating_sub(prev.total_ops),
+        full.area_mm2,
+        full.chips,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,6 +822,30 @@ mod tests {
         assert!(model.evaluate_batched_packed(&p, 8, 255).is_err());
         assert!(model.evaluate_batched_packed(&p, 8, 8 * 256 + 1).is_err());
         assert!(model.evaluate_batched_packed(&p, 0, 256).is_err());
+    }
+
+    #[test]
+    fn marginal_decode_summary_prices_one_token() {
+        let model = PerformanceModel::paper_default();
+        let full = model
+            .evaluate(&point(ModelConfig::bert_large(), 128, 0.1))
+            .unwrap();
+        let prev = model
+            .evaluate(&point(ModelConfig::bert_large(), 127, 0.1))
+            .unwrap();
+        let marginal = marginal_decode_summary(&full, &prev);
+        assert!(marginal.energy.total_pj() > 0.0);
+        assert!(marginal.energy.total_pj() < full.energy.total_pj());
+        assert!(marginal.latency.total_ns() > 0.0);
+        assert!(marginal.latency.total_ns() < full.latency.total_ns());
+        assert!(marginal.total_ops > 0);
+        assert!(marginal.total_ops < full.total_ops);
+        // Context-independent components subtract to exactly zero: amortized
+        // weight programming does not scale with the cached context.
+        assert_eq!(marginal.energy.analog_rram_write_pj, 0.0);
+        // The deployment itself is unchanged by decoding.
+        assert_eq!(marginal.area_mm2, full.area_mm2);
+        assert_eq!(marginal.chips, full.chips);
     }
 
     #[test]

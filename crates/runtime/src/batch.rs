@@ -358,6 +358,35 @@ impl BatchScheduler {
         }
     }
 
+    /// Continuous (iteration-level) batching: pops up to `slots` queued
+    /// requests in policy order for admission into an *already running*
+    /// batch at a token boundary. `fits` is the caller's admission gate —
+    /// typically a KV-cell capacity check that accumulates the cells each
+    /// admitted prompt will occupy. Like [`BatchScheduler::next_batch`],
+    /// admission stops at the first policy-ordered request the gate
+    /// rejects (no skip-ahead), so FCFS keeps strict arrival order and
+    /// EDF/priority never starve their most-urgent request.
+    ///
+    /// Returns the admitted requests in admission order (possibly empty);
+    /// rejected and unexamined requests stay queued.
+    pub fn admit_continuous(
+        &mut self,
+        slots: usize,
+        mut fits: impl FnMut(&InferenceRequest) -> bool,
+    ) -> Vec<InferenceRequest> {
+        let mut joined = Vec::new();
+        while joined.len() < slots {
+            let Some(candidate) = self.next_candidate() else {
+                break;
+            };
+            if !fits(&self.queue[candidate]) {
+                break;
+            }
+            joined.push(self.queue.remove(candidate).expect("candidate in range"));
+        }
+        joined
+    }
+
     /// Forms the next batch in policy order: admits queued requests while
     /// both the batch-size cap and the tile capacity hold. Returns `None`
     /// when the queue is empty. A returned batch always satisfies
@@ -611,6 +640,43 @@ mod tests {
         // Empty queue: nothing to evict.
         let mut s = policy_scheduler(SchedulingPolicy::Edf, 4);
         assert!(s.preempt_for(&urgent).is_none());
+    }
+
+    #[test]
+    fn continuous_admission_respects_slots_gate_and_policy_order() {
+        let mut s = scheduler(8, 1);
+        for id in 0..6 {
+            s.submit(request(id, 128)).unwrap();
+        }
+        // Slots bind: only two admitted, FCFS order, rest stay queued.
+        let joined = s.admit_continuous(2, |_| true);
+        assert_eq!(joined.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.queue_len(), 4);
+        // The gate binds: admission stops at the first rejection with no
+        // skip-ahead, even if later requests would pass.
+        let mut budget = 1;
+        let joined = s.admit_continuous(8, |_| {
+            if budget > 0 {
+                budget -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(joined.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(s.queue_len(), 3);
+        // Zero slots admits nothing; an empty queue admits nothing.
+        assert!(s.admit_continuous(0, |_| true).is_empty());
+        let drained = s.admit_continuous(8, |_| true);
+        assert_eq!(drained.len(), 3);
+        assert!(s.admit_continuous(8, |_| true).is_empty());
+
+        // EDF: continuous admission serves the tightest deadline first.
+        let mut s = policy_scheduler(SchedulingPolicy::Edf, 4);
+        s.submit(request(0, 128).with_deadline_ns(9_000.0)).unwrap();
+        s.submit(request(1, 128).with_deadline_ns(1_000.0)).unwrap();
+        let joined = s.admit_continuous(1, |_| true);
+        assert_eq!(joined[0].id, 1);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod batch;
 pub mod cluster;
+pub mod decode;
 pub mod error;
 pub mod overload;
 pub mod policy;
@@ -56,6 +57,7 @@ pub mod traffic;
 
 pub use batch::{Batch, BatchScheduler, InferenceRequest, SchedulerConfig};
 pub use cluster::{BatchTrace, ClusterConfig, ClusterReport, ClusterSim, DispatchPolicy};
+pub use decode::{DecodeConfig, DecodeReport, DecodeSim, KvPlacementPolicy};
 pub use error::RuntimeError;
 pub use hyflex_pim::backend::{Backend, HyFlexPim};
 pub use overload::{

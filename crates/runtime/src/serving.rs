@@ -151,6 +151,13 @@ pub struct LatencySummary {
     pub mean_ms: f64,
     /// Worst-case latency.
     pub max_ms: f64,
+    /// Mean time per output token over the run's decoded tokens, or `None`
+    /// for prefill-only runs (the closed- and open-loop simulators, whose
+    /// requests complete in one batched pass). Populated by the
+    /// decode-serving engine ([`crate::decode`]), where a request's latency
+    /// spans many generation iterations and the tail is better read per
+    /// token than per request.
+    pub tpot_ms: Option<f64>,
 }
 
 /// Outcome of one serving run.
@@ -438,6 +445,7 @@ pub(crate) fn latency_summary(mut latencies_ns: Vec<f64>) -> LatencySummary {
         p999_ms: (latencies_ns.len() >= 1000).then(|| percentile_ns(&latencies_ns, 0.999) / 1e6),
         mean_ms: latencies_ns.iter().sum::<f64>() / latencies_ns.len() as f64 / 1e6,
         max_ms: latencies_ns.last().copied().unwrap_or(0.0) / 1e6,
+        tpot_ms: None,
     }
 }
 

@@ -323,6 +323,157 @@ impl RequestTrace {
         }
     }
 
+    /// Loads a trace from a plain-text workload file (see
+    /// [`RequestTrace::parse`] for the format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] for an unreadable file or a
+    /// malformed workload description.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            RuntimeError::InvalidConfig(format!("cannot read trace file {}: {e}", path.display()))
+        })?;
+        RequestTrace::parse(&text)
+    }
+
+    /// Parses a plain-text workload description into a validated trace.
+    ///
+    /// One `key = value` directive per line; `#` starts a comment. Keys:
+    ///
+    /// ```text
+    /// process      = poisson qps=3000
+    ///              | mmpp                      (states follow)
+    ///              | gamma qps=3000 shape=0.25
+    /// state        = burst qps=20000 dwell_s=0.02     (MMPP states, in order)
+    /// phase        = peak duration_s=0.05 multiplier=3.0   (rate curve)
+    /// num_requests = 500
+    /// seq_len      = 128
+    /// slo_ns       = 2e6 | inf
+    /// class        = seq_len=64 weight=3 slo_ns=2e6 priority=1
+    /// seed         = 42
+    /// ```
+    ///
+    /// Unset keys keep the [`TrafficConfig::default`] values; `class` lines
+    /// build the heterogeneous request mix (`slo_ns` and `priority` are
+    /// optional per class). The format is hand-parsed — traces stay
+    /// loadable without any serialization dependency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidConfig`] naming the offending line
+    /// for unknown keys, malformed numbers, `state` lines outside an MMPP
+    /// process, or a configuration [`RequestTrace::new`] rejects.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut config = TrafficConfig::default();
+        let mut states: Vec<MmppState> = Vec::new();
+        let mut saw_mmpp = false;
+        for (index, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad =
+                |msg: String| RuntimeError::InvalidConfig(format!("line {}: {msg}", index + 1));
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "process" => {
+                    let mut words = value.split_whitespace();
+                    let kind = words
+                        .next()
+                        .ok_or_else(|| bad("empty process".to_string()))?;
+                    let fields = parse_fields(words, index + 1)?;
+                    config.process = match kind {
+                        "poisson" => ArrivalProcess::Poisson {
+                            qps: take_field(&fields, "qps", index + 1)?,
+                        },
+                        "mmpp" => {
+                            saw_mmpp = true;
+                            ArrivalProcess::Mmpp { states: Vec::new() }
+                        }
+                        "gamma" => ArrivalProcess::GammaBurst {
+                            qps: take_field(&fields, "qps", index + 1)?,
+                            shape: take_field(&fields, "shape", index + 1)?,
+                        },
+                        other => {
+                            return Err(bad(format!(
+                                "unknown process `{other}` (poisson, mmpp, gamma)"
+                            )))
+                        }
+                    };
+                }
+                "state" => {
+                    if !saw_mmpp {
+                        return Err(bad("`state` requires `process = mmpp` first".to_string()));
+                    }
+                    let mut words = value.split_whitespace();
+                    let label = words
+                        .next()
+                        .ok_or_else(|| bad("state needs a label".to_string()))?;
+                    let fields = parse_fields(words, index + 1)?;
+                    states.push(MmppState::new(
+                        label,
+                        take_field(&fields, "qps", index + 1)?,
+                        take_field(&fields, "dwell_s", index + 1)?,
+                    ));
+                }
+                "phase" => {
+                    let mut words = value.split_whitespace();
+                    let label = words
+                        .next()
+                        .ok_or_else(|| bad("phase needs a label".to_string()))?;
+                    let fields = parse_fields(words, index + 1)?;
+                    config.rate_curve.push(RatePhase::new(
+                        label,
+                        take_field(&fields, "duration_s", index + 1)?,
+                        take_field(&fields, "multiplier", index + 1)?,
+                    ));
+                }
+                "class" => {
+                    let fields = parse_fields(value.split_whitespace(), index + 1)?;
+                    let seq_len = take_field(&fields, "seq_len", index + 1)?;
+                    let weight = take_field(&fields, "weight", index + 1)?;
+                    let mut class = RequestClass::new(seq_len as usize, weight);
+                    if let Some(slo) = find_field(&fields, "slo_ns") {
+                        class = class.with_slo_ns(slo);
+                    }
+                    if let Some(priority) = find_field(&fields, "priority") {
+                        class = class.with_priority(priority as u8);
+                    }
+                    config.classes.push(class);
+                }
+                "num_requests" => {
+                    config.num_requests = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad num_requests `{value}`")))?;
+                }
+                "seq_len" => {
+                    config.seq_len = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad seq_len `{value}`")))?;
+                }
+                "slo_ns" => {
+                    config.slo_ns =
+                        parse_number(value).ok_or_else(|| bad(format!("bad slo_ns `{value}`")))?;
+                }
+                "seed" => {
+                    config.seed = value
+                        .parse()
+                        .map_err(|_| bad(format!("bad seed `{value}`")))?;
+                }
+                other => return Err(bad(format!("unknown key `{other}`"))),
+            }
+        }
+        if saw_mmpp {
+            config.process = ArrivalProcess::Mmpp { states };
+        }
+        RequestTrace::new(config)
+    }
+
     /// Opens the trace as a streaming iterator of arrivals (sorted by
     /// arrival time, ids sequential from 0, phases tagged). O(1) memory;
     /// bit-identical on every call for the same trace.
@@ -537,6 +688,47 @@ fn gamma_sample(rng: &mut Rng, shape: f64) -> f64 {
     }
 }
 
+/// Splits `key=value` trace-file words into (key, number) pairs.
+fn parse_fields<'a>(
+    words: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<Vec<(&'a str, f64)>> {
+    words
+        .map(|word| {
+            let (key, value) = word.split_once('=').ok_or_else(|| {
+                RuntimeError::InvalidConfig(format!(
+                    "line {line}: expected `key=value`, got `{word}`"
+                ))
+            })?;
+            let number = parse_number(value).ok_or_else(|| {
+                RuntimeError::InvalidConfig(format!(
+                    "line {line}: bad number `{value}` for `{key}`"
+                ))
+            })?;
+            Ok((key, number))
+        })
+        .collect()
+}
+
+/// Looks up an optional field parsed by [`parse_fields`].
+fn find_field(fields: &[(&str, f64)], key: &str) -> Option<f64> {
+    fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+/// Looks up a required field parsed by [`parse_fields`].
+fn take_field(fields: &[(&str, f64)], key: &str, line: usize) -> Result<f64> {
+    find_field(fields, key)
+        .ok_or_else(|| RuntimeError::InvalidConfig(format!("line {line}: missing `{key}=`")))
+}
+
+/// Parses a number, accepting `inf` for unbounded SLOs.
+fn parse_number(value: &str) -> Option<f64> {
+    if value == "inf" {
+        return Some(f64::INFINITY);
+    }
+    value.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +740,93 @@ mod tests {
             ..TrafficConfig::default()
         })
         .unwrap()
+    }
+
+    #[test]
+    fn trace_files_round_trip() {
+        let text = "\
+# fig21-style burst workload
+process = mmpp
+state = calm qps=2000 dwell_s=0.08   # trough
+state = burst qps=20000 dwell_s=0.02
+phase = warm duration_s=0.05 multiplier=1.0
+phase = peak duration_s=0.05 multiplier=3.0
+num_requests = 500
+seq_len = 64
+slo_ns = 2e6
+class = seq_len=64 weight=3 slo_ns=2e6 priority=1
+class = seq_len=256 weight=1
+seed = 42
+";
+        let parsed = RequestTrace::parse(text).unwrap();
+        let expected = RequestTrace::new(TrafficConfig {
+            process: ArrivalProcess::Mmpp {
+                states: vec![
+                    MmppState::new("calm", 2000.0, 0.08),
+                    MmppState::new("burst", 20000.0, 0.02),
+                ],
+            },
+            rate_curve: vec![
+                RatePhase::new("warm", 0.05, 1.0),
+                RatePhase::new("peak", 0.05, 3.0),
+            ],
+            num_requests: 500,
+            seq_len: 64,
+            slo_ns: 2e6,
+            classes: vec![
+                RequestClass::new(64, 3.0).with_slo_ns(2e6).with_priority(1),
+                RequestClass::new(256, 1.0),
+            ],
+            seed: 42,
+        })
+        .unwrap();
+        assert_eq!(parsed, expected);
+
+        let dir =
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/test-traces");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.trace");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(RequestTrace::from_file(&path).unwrap(), expected);
+
+        // Unset keys keep the defaults.
+        let sparse = RequestTrace::parse("process = poisson qps=250\n").unwrap();
+        let default_poisson = RequestTrace::new(TrafficConfig {
+            process: ArrivalProcess::Poisson { qps: 250.0 },
+            ..TrafficConfig::default()
+        })
+        .unwrap();
+        assert_eq!(sparse, default_poisson);
+        let gamma = RequestTrace::parse("process = gamma qps=500 shape=0.25\n").unwrap();
+        assert!((gamma.mean_qps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_parser_names_the_offending_line() {
+        let err = |text: &str| RequestTrace::parse(text).unwrap_err().to_string();
+        assert!(
+            err("bogus = 1\n").contains("line 1"),
+            "{}",
+            err("bogus = 1\n")
+        );
+        assert!(err("bogus = 1\n").contains("bogus"));
+        let no_eq = err("seed = 1\nseq_len\n");
+        assert!(no_eq.contains("line 2"), "{no_eq}");
+        let bad_number = err("seq_len = twelve\n");
+        assert!(bad_number.contains("twelve"), "{bad_number}");
+        let orphan_state = err("state = burst qps=100 dwell_s=0.1\n");
+        assert!(orphan_state.contains("mmpp"), "{orphan_state}");
+        let missing = err("process = gamma qps=100\n");
+        assert!(missing.contains("shape"), "{missing}");
+        let unknown = err("process = weibull qps=100\n");
+        assert!(unknown.contains("weibull"), "{unknown}");
+        // Validation still runs on parsed configs (mmpp with no states).
+        assert!(RequestTrace::parse("process = mmpp\n").is_err());
+        // Unreadable paths name the file.
+        let gone = RequestTrace::from_file("/nonexistent/x.trace")
+            .unwrap_err()
+            .to_string();
+        assert!(gone.contains("/nonexistent/x.trace"), "{gone}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! its costs live in `hyflex-pim`.
 
 use crate::error::ModelError;
+use crate::kv::LayerKv;
 use crate::layers::{AnyLinear, Layer, LayerCtx, Linear};
 use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
@@ -222,6 +223,108 @@ impl MultiHeadAttention {
             context.set_submatrix(0, head * hd, &out_h)?;
         }
         Ok(context)
+    }
+
+    /// Decode-phase forward: treats `x`'s rows as one request's next tokens,
+    /// appends their keys/values to the request's cache, and attends each new
+    /// row causally over the full cached history.
+    ///
+    /// `x` holds the (already pre-normalized) hidden rows of `m` new tokens
+    /// at absolute positions `kv.len()..kv.len() + m`; the prefill phase
+    /// passes the whole prompt at once (`kv` empty) and decode passes one row
+    /// per step. The output is bit-identical to the matching rows of
+    /// [`MultiHeadAttention::forward`] with a causal mask over the whole
+    /// sequence: the projections are row-independent, softmax over an
+    /// un-padded prefix equals softmax over the `-inf`-masked full row
+    /// (`exp(-inf) = +0.0` and trailing exact zeros leave the sums
+    /// unchanged), and zero probabilities contribute exact zeros to the
+    /// context product — the same argument that makes packed batching exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the projections or a cache whose width
+    /// disagrees with this layer.
+    pub fn decode_step(&self, x: &Matrix, kv: &mut LayerKv) -> Result<Matrix> {
+        let start = kv.len();
+        let q = self.wq.forward(x)?;
+        let k = self.wk.forward(x)?;
+        let v = self.wv.forward(x)?;
+        kv.append(&k, &v)?;
+        let k_all = kv.keys().expect("cache is non-empty after append");
+        let v_all = kv.values().expect("cache is non-empty after append");
+        let m = x.rows();
+        let len = k_all.rows();
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut context = Matrix::zeros(m, self.dim());
+        for head in 0..self.num_heads {
+            let qh = self.head_slice(&q, head);
+            let kh = self.head_slice(k_all, head);
+            let vh = self.head_slice(v_all, head);
+            let mut scores = qh.matmul_transpose(&kh)?.scale(scale);
+            // New row r sits at absolute position start + r and may attend
+            // every cached position up to and including itself.
+            for r in 0..m {
+                for c in (start + r + 1)..len {
+                    scores.set(r, c, f32::NEG_INFINITY);
+                }
+            }
+            let mut probs = Matrix::zeros(m, len);
+            for r in 0..m {
+                probs.row_mut(r).copy_from_slice(&softmax(scores.row(r)));
+            }
+            let out_h = probs.matmul(&vh)?;
+            context.set_submatrix(0, head * hd, &out_h)?;
+        }
+        self.wo.forward(&context)
+    }
+
+    /// One iteration-level batched decode step: row `b` of `x` is the next
+    /// token of the request owning `caches[b]`.
+    ///
+    /// The projections run once over the whole batch (they are
+    /// row-independent, so each row matches its solo computation bitwise);
+    /// attention then runs per request against that request's own cache. The
+    /// newest token may attend every cached position, so no mask is needed.
+    /// Each output row is bit-identical to calling
+    /// [`MultiHeadAttention::decode_step`] for that request alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the row count and cache count disagree, plus
+    /// shape errors from the projections.
+    pub fn decode_step_batch(&self, x: &Matrix, caches: &mut [&mut LayerKv]) -> Result<Matrix> {
+        if x.rows() != caches.len() {
+            return Err(ModelError::InvalidInput(format!(
+                "batched decode got {} rows for {} caches",
+                x.rows(),
+                caches.len()
+            )));
+        }
+        let q = self.wq.forward(x)?;
+        let k = self.wk.forward(x)?;
+        let v = self.wv.forward(x)?;
+        let hd = self.head_dim();
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut context = Matrix::zeros(x.rows(), self.dim());
+        for (b, kv) in caches.iter_mut().enumerate() {
+            let k_b = k.submatrix(b, 0, 1, k.cols())?;
+            let v_b = v.submatrix(b, 0, 1, v.cols())?;
+            kv.append(&k_b, &v_b)?;
+            let k_all = kv.keys().expect("cache is non-empty after append");
+            let v_all = kv.values().expect("cache is non-empty after append");
+            for head in 0..self.num_heads {
+                let qh = q.submatrix(b, head * hd, 1, hd)?;
+                let kh = self.head_slice(k_all, head);
+                let vh = self.head_slice(v_all, head);
+                let scores = qh.matmul_transpose(&kh)?.scale(scale);
+                let mut probs = Matrix::zeros(1, scores.cols());
+                probs.row_mut(0).copy_from_slice(&softmax(scores.row(0)));
+                let out_h = probs.matmul(&vh)?;
+                context.set_submatrix(b, head * hd, &out_h)?;
+            }
+        }
+        self.wo.forward(&context)
     }
 
     /// Backward pass: accumulates projection gradients and returns `dL/dx`.

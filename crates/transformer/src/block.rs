@@ -2,6 +2,7 @@
 
 use crate::attention::{AttentionMask, MultiHeadAttention};
 use crate::ffn::FeedForward;
+use crate::kv::LayerKv;
 use crate::layers::{AnyLinear, Layer, LayerCtx, LayerNorm, Residual};
 use crate::param::{Param, ParamPath, ParamVisit};
 use crate::Result;
@@ -114,6 +115,38 @@ impl TransformerBlock {
         let ctx = LayerCtx::with_mask(*mask);
         let h = self.attn.forward(x, &ctx)?;
         self.ffn.forward(&h, &ctx)
+    }
+
+    /// Decode-phase forward of one request's next rows, using and growing
+    /// this block's cached keys/values.
+    ///
+    /// Chains exactly the same operations as [`TransformerBlock::forward`]
+    /// with a causal mask — pre-norm, attention, residual add, then the FFN
+    /// half (which is row-wise and ignores the mask) — so each output row is
+    /// bit-identical to the matching row of the full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn decode_step(&self, x: &Matrix, kv: &mut LayerKv) -> Result<Matrix> {
+        let normed = self.attn.norm().forward(x)?;
+        let y = self.attn.inner().decode_step(&normed, kv)?;
+        let h = x.add(&y)?;
+        self.ffn.forward(&h, &LayerCtx::inference())
+    }
+
+    /// One iteration-level batched decode step: row `b` of `x` belongs to the
+    /// request owning `caches[b]`. Row-identical to per-request
+    /// [`TransformerBlock::decode_step`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the sub-layers.
+    pub fn decode_step_batch(&self, x: &Matrix, caches: &mut [&mut LayerKv]) -> Result<Matrix> {
+        let normed = self.attn.norm().forward(x)?;
+        let y = self.attn.inner().decode_step_batch(&normed, caches)?;
+        let h = x.add(&y)?;
+        self.ffn.forward(&h, &LayerCtx::inference())
     }
 
     /// Backward pass: accumulates gradients in all sub-layers and returns

@@ -569,13 +569,27 @@ impl Embedding {
     ///
     /// Returns an error for out-of-vocabulary tokens or too-long sequences.
     pub fn forward(&self, tokens: &[usize]) -> Result<Matrix> {
+        self.forward_from(tokens, 0)
+    }
+
+    /// Looks up embeddings with positions starting at `start`: token `i`
+    /// receives the positional embedding of absolute position `start + i`.
+    /// This is the decode-phase entry point — a request with `start` tokens
+    /// already cached embeds its next token at position `start`, bit-identical
+    /// to where a full-sequence [`Embedding::forward`] would place it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-vocabulary tokens or when `start +
+    /// tokens.len()` exceeds the maximum sequence length.
+    pub fn forward_from(&self, tokens: &[usize], start: usize) -> Result<Matrix> {
         if tokens.is_empty() {
             return Err(ModelError::InvalidInput("empty token sequence".into()));
         }
-        if tokens.len() > self.max_len() {
+        if start + tokens.len() > self.max_len() {
             return Err(ModelError::InvalidInput(format!(
-                "sequence of length {} exceeds maximum {}",
-                tokens.len(),
+                "positions {start}..{} exceed maximum {}",
+                start + tokens.len(),
                 self.max_len()
             )));
         }
@@ -592,7 +606,7 @@ impl Embedding {
                 out.set(
                     i,
                     c,
-                    self.table.value().at(tok, c) + self.positions.value().at(i, c),
+                    self.table.value().at(tok, c) + self.positions.value().at(start + i, c),
                 );
             }
         }

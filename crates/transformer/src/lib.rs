@@ -36,6 +36,7 @@ pub mod error;
 pub mod factored;
 pub mod ffn;
 pub mod graph;
+pub mod kv;
 pub mod layers;
 pub mod metrics;
 pub mod model;
@@ -48,6 +49,7 @@ pub use config::{ModelConfig, ModelKind, TaskKind};
 pub use error::ModelError;
 pub use factored::FactoredLinear;
 pub use graph::{BlockSpec, HeadSpec, ModelGraph, StemSpec};
+pub use kv::{KvCache, LayerKv};
 pub use layers::{Layer, LayerCtx, Residual};
 pub use model::{ModelInput, TransformerModel};
 pub use param::{AdamWConfig, Param, ParamPath, ParamStore, ParamVisit, VarBuilder};

@@ -9,6 +9,7 @@ use crate::block::TransformerBlock;
 use crate::config::{ModelConfig, TaskKind};
 use crate::error::ModelError;
 use crate::graph::ModelGraph;
+use crate::kv::{KvCache, LayerKv};
 use crate::layers::{AnyLinear, Embedding, LayerNorm, Linear};
 use crate::param::{Param, ParamPath, ParamStore, ParamVisit};
 use crate::Result;
@@ -256,6 +257,119 @@ impl TransformerModel {
         Ok((packed, segments))
     }
 
+    /// Creates an empty KV cache sized for this model's block stack.
+    pub fn new_kv_cache(&self) -> KvCache {
+        KvCache::new(self.blocks.len())
+    }
+
+    fn check_decode_ready(&self, cache_layers: usize) -> Result<()> {
+        if !self.config.is_causal() {
+            return Err(ModelError::InvalidInput(
+                "KV-cached decoding needs a causal (decoder) model".to_string(),
+            ));
+        }
+        if !matches!(self.config.task, TaskKind::LanguageModeling) {
+            return Err(ModelError::InvalidInput(
+                "KV-cached decoding needs a language-modeling head".to_string(),
+            ));
+        }
+        if self.embedding.is_none() {
+            return Err(ModelError::InvalidInput(
+                "KV-cached decoding needs a token embedding".to_string(),
+            ));
+        }
+        if cache_layers != self.blocks.len() {
+            return Err(ModelError::InvalidInput(format!(
+                "KV cache has {cache_layers} layers, model has {}",
+                self.blocks.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Prefill phase: runs `tokens` through the stack in one pass, growing
+    /// `cache` by their keys/values, and returns the `[tokens, vocab]`
+    /// next-token logits.
+    ///
+    /// The tokens sit at absolute positions `cache.len()..cache.len() +
+    /// tokens.len()`, so calling prefill on an empty cache processes a fresh
+    /// prompt and calling it again extends the same request. Every logits row
+    /// is bit-identical to the matching row of
+    /// [`TransformerModel::forward`] over the request's full token sequence —
+    /// the cached decode path reorders no arithmetic (see
+    /// [`crate::attention::MultiHeadAttention::decode_step`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for non-causal or non-LM models,
+    /// a cache of the wrong depth, out-of-vocabulary tokens, or a sequence
+    /// overrunning the maximum length.
+    pub fn prefill(&self, tokens: &[usize], cache: &mut KvCache) -> Result<Matrix> {
+        self.check_decode_ready(cache.num_layers())?;
+        let embedding = self.embedding.as_ref().expect("checked by decode_ready");
+        let mut x = embedding.forward_from(tokens, cache.len())?;
+        for (block, kv) in self.blocks.iter().zip(cache.layers_mut()) {
+            x = block.decode_step(&x, kv)?;
+        }
+        let hidden = self.final_norm.forward(&x)?;
+        self.head.forward(&hidden)
+    }
+
+    /// Decode phase: appends one token to a request and returns its
+    /// `[1, vocab]` next-token logits.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransformerModel::prefill`].
+    pub fn decode_step(&self, token: usize, cache: &mut KvCache) -> Result<Matrix> {
+        self.prefill(&[token], cache)
+    }
+
+    /// One iteration-level batched decode step: `tokens[b]` is the next token
+    /// of the request owning `caches[b]`, and row `b` of the returned
+    /// `[batch, vocab]` matrix is its next-token logits.
+    ///
+    /// Requests at different positions share the pass — this is what lets the
+    /// runtime's continuous batcher admit and retire requests at token
+    /// boundaries. Every row is bit-identical to a per-request
+    /// [`TransformerModel::decode_step`] call because each sub-layer is
+    /// row-independent and attention runs against each request's own cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidInput`] for an empty batch or mismatched
+    /// token/cache counts, plus the per-request errors of
+    /// [`TransformerModel::prefill`].
+    pub fn decode_step_batch(
+        &self,
+        tokens: &[usize],
+        caches: &mut [&mut KvCache],
+    ) -> Result<Matrix> {
+        if tokens.is_empty() || tokens.len() != caches.len() {
+            return Err(ModelError::InvalidInput(format!(
+                "batched decode got {} tokens for {} caches",
+                tokens.len(),
+                caches.len()
+            )));
+        }
+        for cache in caches.iter() {
+            self.check_decode_ready(cache.num_layers())?;
+        }
+        let embedding = self.embedding.as_ref().expect("checked by decode_ready");
+        let mut x = Matrix::zeros(tokens.len(), self.config.hidden_dim);
+        for (b, (&tok, cache)) in tokens.iter().zip(caches.iter()).enumerate() {
+            let row = embedding.forward_from(&[tok], cache.len())?;
+            x.set_submatrix(b, 0, &row)?;
+        }
+        for (i, block) in self.blocks.iter().enumerate() {
+            let mut layer_kvs: Vec<&mut LayerKv> =
+                caches.iter_mut().map(|c| &mut c.layers_mut()[i]).collect();
+            x = block.decode_step_batch(&x, &mut layer_kvs)?;
+        }
+        let hidden = self.final_norm.forward(&x)?;
+        self.head.forward(&hidden)
+    }
+
     /// Runs the model, then back-propagates `d_logits`, accumulating
     /// gradients in every layer. Returns the forward logits so callers can
     /// compute the loss once.
@@ -432,6 +546,117 @@ mod tests {
             let solo = model.forward(input).unwrap();
             assert_eq!(&solo, logits);
         }
+    }
+
+    #[test]
+    fn kv_decode_matches_full_causal_forward_bitwise() {
+        let mut rng = Rng::seed_from(21);
+        let model = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
+        let tokens = vec![3usize, 1, 4, 1, 5, 9];
+        let full = model.forward(&ModelInput::Tokens(tokens.clone())).unwrap();
+
+        // Prefill the first three tokens in one pass, then decode one by one.
+        let mut cache = model.new_kv_cache();
+        let prefill = model.prefill(&tokens[..3], &mut cache).unwrap();
+        assert_eq!(prefill.shape(), (3, full.cols()));
+        for r in 0..3 {
+            for c in 0..full.cols() {
+                assert_eq!(
+                    prefill.at(r, c).to_bits(),
+                    full.at(r, c).to_bits(),
+                    "prefill logits diverge at [{r},{c}]"
+                );
+            }
+        }
+        for (t, &tok) in tokens.iter().enumerate().skip(3) {
+            let step = model.decode_step(tok, &mut cache).unwrap();
+            assert_eq!(step.shape(), (1, full.cols()));
+            for c in 0..full.cols() {
+                assert_eq!(
+                    step.at(0, c).to_bits(),
+                    full.at(t, c).to_bits(),
+                    "decode logits diverge at step {t}, col {c}"
+                );
+            }
+        }
+        assert_eq!(cache.len(), tokens.len());
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_decode_bitwise() {
+        let mut rng = Rng::seed_from(22);
+        let model = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
+        let prompts = [vec![3usize, 1, 4], vec![9usize], vec![2usize, 6, 5, 3]];
+        let next = [1usize, 7, 0];
+
+        // Sequential: decode each request alone.
+        let mut solo_caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| {
+                let mut c = model.new_kv_cache();
+                model.prefill(p, &mut c).unwrap();
+                c
+            })
+            .collect();
+        let solo: Vec<Matrix> = next
+            .iter()
+            .zip(solo_caches.iter_mut())
+            .map(|(&tok, c)| model.decode_step(tok, c).unwrap())
+            .collect();
+
+        // Batched: same requests share one iteration.
+        let mut batch_caches: Vec<KvCache> = prompts
+            .iter()
+            .map(|p| {
+                let mut c = model.new_kv_cache();
+                model.prefill(p, &mut c).unwrap();
+                c
+            })
+            .collect();
+        let mut refs: Vec<&mut KvCache> = batch_caches.iter_mut().collect();
+        let batched = model.decode_step_batch(&next, &mut refs).unwrap();
+
+        assert_eq!(batched.rows(), prompts.len());
+        for (b, solo_logits) in solo.iter().enumerate() {
+            for c in 0..batched.cols() {
+                assert_eq!(
+                    batched.at(b, c).to_bits(),
+                    solo_logits.at(0, c).to_bits(),
+                    "batched decode diverges for request {b}, col {c}"
+                );
+            }
+        }
+        // Caches advanced identically.
+        for (solo_c, batch_c) in solo_caches.iter().zip(&batch_caches) {
+            assert_eq!(solo_c, batch_c);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_models_and_caches() {
+        // Encoder models (non-causal, non-LM) cannot decode.
+        let encoder = tiny_model(23);
+        let mut cache = encoder.new_kv_cache();
+        assert!(encoder.prefill(&[1, 2], &mut cache).is_err());
+
+        let mut rng = Rng::seed_from(24);
+        let decoder = TransformerModel::new(ModelConfig::tiny_decoder(), &mut rng).unwrap();
+        // Wrong cache depth.
+        let mut shallow = KvCache::new(1);
+        assert!(decoder.prefill(&[1], &mut shallow).is_err());
+        // Out-of-vocabulary token and over-long sequence.
+        let mut cache = decoder.new_kv_cache();
+        assert!(decoder.prefill(&[1000], &mut cache).is_err());
+        let max = decoder.config().max_seq_len;
+        let mut cache = decoder.new_kv_cache();
+        decoder.prefill(&vec![1; max], &mut cache).unwrap();
+        assert!(decoder.decode_step(1, &mut cache).is_err());
+        // Batch size / cache count mismatch.
+        let mut one = decoder.new_kv_cache();
+        decoder.prefill(&[1], &mut one).unwrap();
+        let mut refs: Vec<&mut KvCache> = vec![&mut one];
+        assert!(decoder.decode_step_batch(&[1, 2], &mut refs).is_err());
+        assert!(decoder.decode_step_batch(&[], &mut []).is_err());
     }
 
     #[test]

@@ -148,6 +148,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 actuation_lag_s: 0.05,
                 scale_up_outstanding: 48.0,
                 scale_down_outstanding: 4.0,
+                ewma_alpha: None,
             }),
             ..OverloadConfig::new(trace(num_requests)?)
         },
