@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-baselines
 //!
 //! Analytical models of the accelerators the paper compares against

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-bench
 //!
 //! Benchmark harness for the HyFlexPIM reproduction.

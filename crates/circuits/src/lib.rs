@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-circuits
 //!
 //! Mixed-signal peripheral circuit models and the component-level area /

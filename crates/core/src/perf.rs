@@ -212,7 +212,11 @@ impl PerformanceModel {
     }
 
     /// The paper's configuration.
+    #[allow(clippy::expect_used)]
     pub fn paper_default() -> Self {
+        // hyflex-lint: allow(E1) — the paper constants are compile-time
+        // fixed and covered by the constructor's validation tests; failing
+        // here requires editing the constants themselves.
         PerformanceModel::new(HyFlexPimConfig::paper_default()).expect("paper config is valid")
     }
 

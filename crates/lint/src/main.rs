@@ -1,0 +1,104 @@
+#![forbid(unsafe_code)]
+//! CLI entry point for the workspace static-analysis pass.
+//!
+//! ```text
+//! hyflex-lint [--check] [--json] [--warnings] [--list-rules] [--root PATH]
+//! ```
+//!
+//! Exit codes: `0` clean (warn findings do not gate), `1` at least one
+//! deny-severity finding, `2` usage or I/O error.
+
+use hyflex_lint::rules::RuleId;
+use hyflex_lint::{lint_workspace, render_json, render_text};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: hyflex-lint [--check] [--json] [--warnings] [--list-rules] \
+                     [--root PATH]\n\
+                     \n\
+                     Scans the workspace for determinism & safety invariant violations.\n\
+                     \n\
+                     --check       gate mode (the default): exit 1 on any deny finding\n\
+                     --json        machine-readable report on stdout\n\
+                     --warnings    list warn-severity findings individually\n\
+                     --list-rules  print the rule set and exit\n\
+                     --root PATH   workspace root (default: nearest ancestor with a\n\
+                     \u{20}             [workspace] Cargo.toml, else the current directory)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut warnings = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // --check is the default behavior; accepted for explicitness.
+            "--check" => {}
+            "--json" => json = true,
+            "--warnings" => warnings = true,
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{} {:<20} {}", rule.id(), rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(path) => path,
+        None => match discover_root() {
+            Some(path) => path,
+            None => PathBuf::from("."),
+        },
+    };
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", render_json(&report));
+            } else {
+                print!("{}", render_text(&report, warnings));
+            }
+            if report.deny_count() > 0 {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(error) => {
+            eprintln!("hyflex-lint: failed to scan {}: {error}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` section.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

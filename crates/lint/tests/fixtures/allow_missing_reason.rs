@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+// hyflex-lint: allow(D1)
+pub fn entry_count(map: &std::collections::HashMap<u32, u32>) -> usize {
+    map.len()
+}

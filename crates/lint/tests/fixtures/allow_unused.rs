@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+// hyflex-lint: allow(D4) — fixture: nothing unsafe is left in this file
+pub fn noop() {}

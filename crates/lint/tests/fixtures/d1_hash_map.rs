@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn entry_count(map: &std::collections::HashMap<u32, u32>) -> usize {
+    map.len()
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}

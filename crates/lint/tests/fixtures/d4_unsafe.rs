@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn first_unchecked(values: &[u8]) -> u8 {
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,1 @@
+pub fn no_attribute_here() {}

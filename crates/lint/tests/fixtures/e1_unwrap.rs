@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+pub fn first(values: &[u8]) -> u8 {
+    *values.first().unwrap()
+}

@@ -1,0 +1,234 @@
+//! Fixture-based tests for the rule engine, plus the workspace self-check.
+//!
+//! Every file under `tests/fixtures/` holds exactly one known violation (or
+//! one allow-directive scenario). The `fixtures` directory is excluded from
+//! workspace scans, so these sources only reach the engine through
+//! [`lint_source`] with synthetic workspace-relative paths — which is also
+//! what lets one fixture be replayed against several crate tiers.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use hyflex_lint::rules::{RuleId, Severity};
+use hyflex_lint::{lint_source, lint_workspace, Finding};
+
+/// Asserts a fixture produced exactly one finding with the expected
+/// rule, severity, and 1-based line.
+fn assert_single(findings: &[Finding], rule: RuleId, severity: Severity, line: usize) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one finding, got {findings:#?}"
+    );
+    let f = &findings[0];
+    assert_eq!(
+        (f.rule, f.severity, f.line),
+        (rule, severity, line),
+        "unexpected finding coordinates: {f:#?}"
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn d1_hash_map_fixture() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/d1_hash_map.rs"),
+    );
+    assert_single(&findings, RuleId::D1, Severity::Deny, 2);
+}
+
+#[test]
+fn d2_wall_clock_fixture() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/d2_wall_clock.rs"),
+    );
+    assert_single(&findings, RuleId::D2, Severity::Deny, 3);
+}
+
+#[test]
+fn d3_thread_spawn_fixture() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/d3_thread_spawn.rs"),
+    );
+    assert_single(&findings, RuleId::D3, Severity::Deny, 3);
+}
+
+#[test]
+fn d3_is_exempt_inside_the_parallel_crate() {
+    let findings = lint_source(
+        "crates/parallel/src/fixture.rs",
+        include_str!("fixtures/d3_thread_spawn.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "hyflex-parallel owns std::thread: {findings:#?}"
+    );
+}
+
+#[test]
+fn d4_unsafe_fixture() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/d4_unsafe.rs"),
+    );
+    assert_single(&findings, RuleId::D4, Severity::Deny, 3);
+}
+
+#[test]
+fn d5_missing_forbid_attr_fixture() {
+    // D5 only applies to crate roots, so the fixture is replayed as lib.rs.
+    let findings = lint_source(
+        "crates/runtime/src/lib.rs",
+        include_str!("fixtures/d5_missing_forbid.rs"),
+    );
+    assert_single(&findings, RuleId::D5, Severity::Deny, 1);
+}
+
+#[test]
+fn e1_unwrap_fixture() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/e1_unwrap.rs"),
+    );
+    assert_single(&findings, RuleId::E1, Severity::Deny, 3);
+}
+
+#[test]
+fn e1_severity_follows_the_crate_tier() {
+    let src = include_str!("fixtures/e1_unwrap.rs");
+    // core/runtime/rram are deny-tier…
+    let deny = lint_source("crates/core/src/fixture.rs", src);
+    assert_single(&deny, RuleId::E1, Severity::Deny, 3);
+    // …the remaining library crates are warn-tier…
+    let warn = lint_source("crates/tensor/src/fixture.rs", src);
+    assert_single(&warn, RuleId::E1, Severity::Warn, 3);
+    // …and test code is exempt outright.
+    let test = lint_source("crates/runtime/tests/fixture.rs", src);
+    assert!(test.is_empty(), "tests may panic: {test:#?}");
+}
+
+#[test]
+fn allow_with_reason_suppresses_the_finding() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/allow_justified.rs"),
+    );
+    assert!(
+        findings.is_empty(),
+        "justified allow should suppress D1: {findings:#?}"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_malformed_and_suppresses_nothing() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/allow_missing_reason.rs"),
+    );
+    assert_eq!(findings.len(), 2, "want A1 + the D1 it failed to suppress");
+    assert_eq!(
+        (findings[0].rule, findings[0].severity, findings[0].line),
+        (RuleId::A1, Severity::Deny, 2),
+        "{:#?}",
+        findings[0]
+    );
+    assert_eq!(
+        (findings[1].rule, findings[1].severity, findings[1].line),
+        (RuleId::D1, Severity::Deny, 3),
+        "{:#?}",
+        findings[1]
+    );
+}
+
+#[test]
+fn unused_allow_is_flagged() {
+    let findings = lint_source(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/allow_unused.rs"),
+    );
+    assert_single(&findings, RuleId::A2, Severity::Warn, 2);
+}
+
+/// The self-check: the lint must pass on the workspace that ships it.
+#[test]
+fn workspace_self_check_has_no_deny_findings() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let denies: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "deny findings on the actual workspace: {denies:#?}"
+    );
+}
+
+/// Same self-check through the CLI: `hyflex-lint --check` exits 0.
+#[test]
+fn cli_check_passes_on_the_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hyflex-lint"))
+        .args(["--check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run hyflex-lint");
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A violation makes the CLI exit non-zero and report the rule id and line.
+#[test]
+fn cli_fails_on_a_violation_with_rule_id_and_line() {
+    let ws = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-cli-fixture");
+    let src_dir = ws.join("crates/runtime/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir mini workspace");
+    std::fs::write(ws.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        include_str!("fixtures/d1_hash_map.rs"),
+    )
+    .expect("write fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_hyflex-lint"))
+        .args(["--check", "--root"])
+        .arg(&ws)
+        .output()
+        .expect("run hyflex-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("crates/runtime/src/lib.rs:2:"), "{text}");
+    assert!(text.contains("D1"), "{text}");
+
+    let json = Command::new(env!("CARGO_BIN_EXE_hyflex-lint"))
+        .args(["--json", "--root"])
+        .arg(&ws)
+        .output()
+        .expect("run hyflex-lint --json");
+    assert_eq!(json.status.code(), Some(1));
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.contains("\"rule\": \"D1\""), "{body}");
+    assert!(body.contains("\"line\": 2"), "{body}");
+    assert!(body.contains("\"deny\": 1"), "{body}");
+}

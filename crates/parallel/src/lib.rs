@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-parallel
 //!
 //! A scoped `std::thread` worker pool with a shared job queue.

@@ -159,7 +159,10 @@ impl NoiseModel {
 
     /// The paper's calibration: a 3 % write-time error plus a retention drift
     /// whose 2-bit MLC bit-error rate equals 4.04 %.
+    #[allow(clippy::expect_used)]
     pub fn calibrated_to_paper() -> Self {
+        // hyflex-lint: allow(E1) — PAPER_MLC2_BER is a compile-time paper
+        // constant inside sigma_from_ber's accepted range (unit-tested).
         let retention =
             sigma_from_ber(PAPER_MLC2_BER, CellMode::MLC2).expect("paper BER constant is in range");
         NoiseModel {

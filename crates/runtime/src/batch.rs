@@ -203,7 +203,7 @@ impl BatchScheduler {
         self.queue
             .iter()
             .map(|r| r.arrival_ns)
-            .min_by(|a, b| a.partial_cmp(b).expect("arrival times are not NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Arrival time of the front-of-queue (first-submitted still-queued)
@@ -382,7 +382,10 @@ impl BatchScheduler {
             if !fits(&self.queue[candidate]) {
                 break;
             }
-            joined.push(self.queue.remove(candidate).expect("candidate in range"));
+            let Some(request) = self.queue.remove(candidate) else {
+                break;
+            };
+            joined.push(request);
         }
         joined
     }
@@ -413,7 +416,10 @@ impl BatchScheduler {
                 break;
             }
             max_seq_len = prospective_max;
-            requests.push(self.queue.remove(candidate).expect("candidate in range"));
+            let Some(request) = self.queue.remove(candidate) else {
+                break;
+            };
+            requests.push(request);
         }
         debug_assert!(!requests.is_empty(), "submit() rejects oversized requests");
         let cells_used = requests.len() * self.request_cells(max_seq_len);

@@ -36,8 +36,8 @@ use crate::Result;
 use hyflex_pim::backend::{Backend, HyFlexPim};
 use hyflex_pim::perf::BatchPerfSummary;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How the cluster routes an arriving request to a chip.
@@ -161,8 +161,12 @@ pub struct ClusterReport {
 }
 
 /// Memoized batch evaluations, shared across a run's chips (replicas are
-/// identical, so a (shape, size) pair evaluates once).
-type ShapeCache = HashMap<(usize, usize), BatchPerfSummary>;
+/// identical, so a (shape, size) pair evaluates once). A `BTreeMap` rather
+/// than a hash map: lookups here are key-exact so iteration order never
+/// matters today, but the determinism policy (lint rule D1) bans
+/// hash-ordered containers in runtime code outright so a future iteration
+/// can never silently order-depend.
+type ShapeCache = BTreeMap<(usize, usize), BatchPerfSummary>;
 
 /// Per-chip accounting the engine reports back.
 #[derive(Debug, Clone, Default)]
@@ -238,10 +242,9 @@ impl ChipState {
     /// exact. The window semantics live here; see the module docs.
     fn advance(&mut self, now: f64, cache: &mut ShapeCache, out: &mut EngineOutcome) -> Result<()> {
         while self.scheduler.queue_len() > 0 {
-            let oldest = self
-                .scheduler
-                .oldest_arrival_ns()
-                .expect("queue is non-empty here");
+            let Some(oldest) = self.scheduler.oldest_arrival_ns() else {
+                break;
+            };
             let ready = self.device_free.max(oldest);
             let max_wait = self.scheduler.config().max_wait_ns;
             let launch = if max_wait == 0.0 {
@@ -260,7 +263,9 @@ impl ChipState {
             if launch > now {
                 break;
             }
-            let batch = self.scheduler.next_batch().expect("queue is non-empty");
+            let Some(batch) = self.scheduler.next_batch() else {
+                break;
+            };
             let key = (batch.max_seq_len, batch.len());
             let summary = match cache.entry(key) {
                 Entry::Occupied(entry) => entry.into_mut(),

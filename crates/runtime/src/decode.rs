@@ -401,27 +401,25 @@ impl DecodeSim {
                 .map(|r| r.cells(&self.kv) + self.append_cells())
                 .sum();
             while projected > self.capacity_cells && !residents.is_empty() {
-                let victim = residents
+                let Some(victim) = residents
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, r)| (r.decoded, std::cmp::Reverse(r.request.id)))
                     .map(|(index, _)| index)
-                    .expect("residents is non-empty");
+                else {
+                    break;
+                };
                 let gone = residents.remove(victim);
                 projected -= gone.cells(&self.kv) + self.append_cells();
                 evicted += 1;
             }
-            if residents.is_empty() {
-                continue;
-            }
             // One decode iteration for the whole batch, priced at the
-            // longest resident context (the executed shape).
-            let context = residents
-                .iter()
-                .map(Resident::context_len)
-                .max()
-                .expect("residents is non-empty")
-                + 1;
+            // longest resident context (the executed shape). The max is
+            // `None` exactly when no resident survived eviction.
+            let Some(longest) = residents.iter().map(Resident::context_len).max() else {
+                continue;
+            };
+            let context = longest + 1;
             let step = self
                 .backend
                 .evaluate_decode_step(context, residents.len())?;
@@ -541,11 +539,9 @@ impl DecodeSim {
         kv_write_pj: &mut f64,
         compute_pj: &mut f64,
     ) -> Result<f64> {
-        let max_prompt = joined
-            .iter()
-            .map(|r| r.seq_len)
-            .max()
-            .expect("prefill is called with at least one request");
+        let max_prompt = joined.iter().map(|r| r.seq_len).max().ok_or_else(|| {
+            RuntimeError::Internal("prefill called with no joined requests".to_string())
+        })?;
         let batch = self.backend.evaluate_batched(max_prompt, joined.len())?;
         *compute_pj += batch.energy_per_request_pj * joined.len() as f64;
         let mut critical_write_ns = 0.0f64;

@@ -10,6 +10,11 @@ pub enum RuntimeError {
     InvalidConfig(String),
     /// A request cannot fit the configured tile capacity even alone.
     CapacityExceeded(String),
+    /// An internal engine invariant was violated. This is a bug in the
+    /// runtime, never a user error; it exists so library code can surface
+    /// broken invariants as typed errors instead of panicking (the
+    /// serving crates are panic-free by policy — lint rule E1).
+    Internal(String),
     /// An error bubbled up from the accelerator model.
     Pim(hyflex_pim::PimError),
     /// An error bubbled up from the transformer substrate.
@@ -21,6 +26,9 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             RuntimeError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
+            RuntimeError::Internal(msg) => {
+                write!(f, "internal runtime invariant violated (bug): {msg}")
+            }
             RuntimeError::Pim(e) => write!(f, "accelerator model error: {e}"),
             RuntimeError::Model(e) => write!(f, "model error: {e}"),
         }

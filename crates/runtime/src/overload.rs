@@ -52,8 +52,8 @@ use crate::Result;
 use hyflex_pim::backend::{Backend, InferenceRequest};
 use hyflex_pim::perf::BatchPerfSummary;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Gate deciding at arrival time whether a request enters the system.
@@ -488,11 +488,13 @@ struct FleetChip {
     inflight: Vec<f64>,
     active: bool,
     shed_enabled: bool,
-    batch_cache: HashMap<(usize, usize), BatchPerfSummary>,
+    // BTreeMap, not a hash map: the determinism policy (lint rule D1) bans
+    // hash-ordered containers in runtime code (see cluster::ShapeCache).
+    batch_cache: BTreeMap<(usize, usize), BatchPerfSummary>,
     /// seq_len → single-request makespan, ns (the optimistic service
     /// estimate for shedding). Precomputed for every shape in the mix; an
     /// unknown shape estimates 0 (never shed early — conservative).
-    single_ns: HashMap<usize, f64>,
+    single_ns: BTreeMap<usize, f64>,
 }
 
 impl FleetChip {
@@ -512,10 +514,9 @@ impl FleetChip {
             // The overload engine submits arrivals in non-decreasing time
             // order and removals preserve queue order, so the O(1) front
             // accessor is the oldest queued arrival.
-            let oldest = self
-                .scheduler
-                .front_arrival_ns()
-                .expect("queue is non-empty here");
+            let Some(oldest) = self.scheduler.front_arrival_ns() else {
+                break;
+            };
             let ready = self.device_free.max(oldest);
             let max_wait = self.scheduler.config().max_wait_ns;
             let launch = if max_wait == 0.0 {
@@ -713,7 +714,7 @@ impl OverloadSim {
         let initially_active = scaler.map_or(self.replicas.len(), |s| s.min_replicas);
         let mut chips: Vec<FleetChip> = Vec::with_capacity(self.replicas.len());
         for (index, backend) in self.replicas.iter().enumerate() {
-            let mut single_ns = HashMap::new();
+            let mut single_ns = BTreeMap::new();
             for &seq_len in &shapes {
                 single_ns.insert(seq_len, backend.evaluate_batched(seq_len, 1)?.makespan_ns);
             }
@@ -727,7 +728,7 @@ impl OverloadSim {
                 inflight: Vec::new(),
                 active: index < initially_active,
                 shed_enabled: self.config.shed,
-                batch_cache: HashMap::new(),
+                batch_cache: BTreeMap::new(),
                 single_ns,
             });
         }
@@ -767,9 +768,9 @@ impl OverloadSim {
                     if next_event > now {
                         break;
                     }
-                    let actuate_now = pending.is_some_and(|(at, _)| at <= next_check_ns);
-                    if actuate_now {
-                        let (at, up) = pending.take().expect("checked is_some");
+                    // An actuation due at or before the next check fires
+                    // first; `take_if` tests and consumes it in one step.
+                    if let Some((at, up)) = pending.take_if(|&mut (at, _)| at <= next_check_ns) {
                         if up && active_count < fleet_max {
                             // Activate the lowest-index inactive replica;
                             // it comes up cold at the actuation time.
@@ -879,7 +880,11 @@ impl OverloadSim {
                         .filter(|(_, c)| c.active)
                         .nth(slot)
                         .map(|(index, _)| index)
-                        .expect("active_count matches the active flags")
+                        .ok_or_else(|| {
+                            RuntimeError::Internal(
+                                "active replica count diverged from the active flags".to_string(),
+                            )
+                        })?
                 }
                 DispatchPolicy::JoinShortestQueue => {
                     let mut best = usize::MAX;

@@ -316,20 +316,23 @@ impl<B: Backend + 'static> ServingSim<B> {
         for id in 0..cfg.num_requests as u64 {
             // Poisson process: exponential inter-arrival times at rate qps.
             t += -(1.0 - rng.uniform()).ln() / cfg.qps * 1e9;
-            let class = if cfg.classes.is_empty() {
-                RequestClass::new(cfg.seq_len, 1.0).with_slo_ns(cfg.slo_ns)
-            } else {
-                // Weighted draw; one extra uniform per request.
-                let mut pick = rng.uniform() * total_weight;
-                let mut chosen = *cfg.classes.last().expect("classes are non-empty");
-                for class in &cfg.classes {
-                    if pick < class.weight {
-                        chosen = *class;
-                        break;
+            // The last class doubles as the rounding fallback, so an empty
+            // mix and a configured one branch on one `last()` call.
+            let class = match cfg.classes.last() {
+                None => RequestClass::new(cfg.seq_len, 1.0).with_slo_ns(cfg.slo_ns),
+                Some(&fallback) => {
+                    // Weighted draw; one extra uniform per request.
+                    let mut pick = rng.uniform() * total_weight;
+                    let mut chosen = fallback;
+                    for class in &cfg.classes {
+                        if pick < class.weight {
+                            chosen = *class;
+                            break;
+                        }
+                        pick -= class.weight;
                     }
-                    pick -= class.weight;
+                    chosen
                 }
-                chosen
             };
             let deadline_ns = if class.slo_ns.is_finite() {
                 t + class.slo_ns
@@ -437,7 +440,9 @@ pub(crate) fn latency_summary(mut latencies_ns: Vec<f64>) -> LatencySummary {
     if latencies_ns.is_empty() {
         return LatencySummary::default();
     }
-    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp gives the same order as partial_cmp on the finite
+    // latencies the engines produce, without a panic path on NaN.
+    latencies_ns.sort_by(f64::total_cmp);
     LatencySummary {
         p50_ms: percentile_ns(&latencies_ns, 0.50) / 1e6,
         p95_ms: percentile_ns(&latencies_ns, 0.95) / 1e6,

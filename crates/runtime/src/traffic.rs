@@ -556,11 +556,15 @@ impl TrafficStream {
     /// Poisson process (plain or Markov-modulated). Exact: the exponential
     /// is memoryless, so discarding a draw that crosses a rate boundary
     /// and re-sampling at the boundary preserves the process law.
+    #[allow(clippy::unreachable)]
     fn next_memoryless_arrival(&mut self) {
         loop {
             let (rate_qps, state_end) = match &self.config.process {
                 ArrivalProcess::Poisson { qps } => (*qps, f64::INFINITY),
                 ArrivalProcess::Mmpp { states } => (states[self.state].qps, self.state_end_ns),
+                // hyflex-lint: allow(E1) — dispatch invariant: next() routes
+                // GammaBurst to next_gamma_arrival, so reaching this arm is a
+                // bug in the stream itself and deserves a loud stop.
                 ArrivalProcess::GammaBurst { .. } => unreachable!("gamma is not memoryless"),
             };
             let rate = rate_qps * self.multiplier();
@@ -621,19 +625,20 @@ impl Iterator for TrafficStream {
         }
         // Class draw identical to the closed-loop generator: one extra
         // uniform per request when a mix is configured.
-        let class = if self.config.classes.is_empty() {
-            RequestClass::new(self.config.seq_len, 1.0).with_slo_ns(self.config.slo_ns)
-        } else {
-            let mut pick = self.rng.uniform() * self.total_class_weight;
-            let mut chosen = *self.config.classes.last().expect("classes are non-empty");
-            for class in &self.config.classes {
-                if pick < class.weight {
-                    chosen = *class;
-                    break;
+        let class = match self.config.classes.last() {
+            None => RequestClass::new(self.config.seq_len, 1.0).with_slo_ns(self.config.slo_ns),
+            Some(&fallback) => {
+                let mut pick = self.rng.uniform() * self.total_class_weight;
+                let mut chosen = fallback;
+                for class in &self.config.classes {
+                    if pick < class.weight {
+                        chosen = *class;
+                        break;
+                    }
+                    pick -= class.weight;
                 }
-                pick -= class.weight;
+                chosen
             }
-            chosen
         };
         let deadline_ns = if class.slo_ns.is_finite() {
             self.t_ns + class.slo_ns

@@ -1,3 +1,6 @@
+// Integration tests panic by design (mirrors hyflex-lint rule E1's
+// test exemption).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 //! Determinism contract of the parallel runtime: the worker pool must
 //! produce bit-identical results to the serial reference regardless of
 //! worker count or OS scheduling. CI runs this suite with

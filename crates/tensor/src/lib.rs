@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-tensor
 //!
 //! Dense linear-algebra, decomposition, quantization, and statistics substrate

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex-transformer
 //!
 //! A from-scratch transformer substrate: encoder, decoder, and vision models

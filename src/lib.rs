@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hyflex
 //!
 //! Workspace facade for the HyFlexPIM reproduction.
