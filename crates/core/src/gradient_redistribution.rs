@@ -20,12 +20,32 @@
 
 use crate::error::PimError;
 use crate::Result;
+use hyflex_parallel::JobPool;
 use hyflex_tensor::svd::hard_threshold_rank;
 pub use hyflex_tensor::svd::SvdAlgorithm;
+use hyflex_tensor::Matrix;
 use hyflex_transformer::layers::AnyLinear;
 use hyflex_transformer::trainer::{EvalReport, Sample};
-use hyflex_transformer::{ParamVisit, Trainer, TransformerModel};
+use hyflex_transformer::{FactoredLinear, ParamVisit, Trainer, TransformerModel};
 use serde::{Deserialize, Serialize};
+
+/// Deterministic per-layer sketch seed: FNV-1a over the dotted parameter
+/// name (`blocks.3.attn.q_proj`, ...).
+///
+/// Seeding each layer's randomized SVD from its own *name* — not from a
+/// shared RNG stream or a worker index — is what keeps the pooled
+/// factorization bit-identical to the serial one for every worker count:
+/// the sketch a layer draws depends only on which layer it is, never on
+/// which worker ran it or in what order. (The Jacobi default has no
+/// randomness; the seed is ignored there.)
+fn layer_sketch_seed(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// How aggressively to truncate each layer's SVD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,26 +162,72 @@ impl GradientRedistribution {
     }
 
     /// Factorizes every static linear layer of `model` under the truncation
-    /// policy with the configured SVD algorithm. Returns the chosen rank per
-    /// layer.
+    /// policy with the configured SVD algorithm, serially. Returns the
+    /// chosen rank per layer. Bit-identical to
+    /// [`GradientRedistribution::factorize_model_pooled`] at any width.
     ///
     /// # Errors
     ///
     /// Propagates SVD failures.
     pub fn factorize_model(&self, model: &mut TransformerModel) -> Result<Vec<usize>> {
-        let mut ranks = Vec::new();
-        for (_name, layer) in model.named_linears_mut() {
+        self.factorize_model_pooled(model, &JobPool::serial())
+    }
+
+    /// Factorizes the model's static linear layers concurrently on `pool`'s
+    /// persistent workers.
+    ///
+    /// Each dense layer in the `ParamVisit` tree becomes one owned job
+    /// (name, weight, rank) dispatched through
+    /// [`JobPool::par_map_owned`]; the SVDs are mutually independent and
+    /// each layer's sketch is seeded from its own name, so the factored
+    /// model is bit-identical to the serial path for every worker count.
+    /// The weight clone handed to each job is negligible next to the
+    /// `O(m·n·k)` decomposition it feeds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures (the first failing layer in model order).
+    pub fn factorize_model_pooled(
+        &self,
+        model: &mut TransformerModel,
+        pool: &JobPool,
+    ) -> Result<Vec<usize>> {
+        let mut layers = model.named_linears_mut();
+        let mut ranks = Vec::with_capacity(layers.len());
+        let mut jobs: Vec<(usize, String, Matrix, usize)> = Vec::new();
+        for (index, (name, layer)) in layers.iter().enumerate() {
             let rank = self.truncation.rank_for(layer.in_dim(), layer.out_dim());
-            layer
-                .factorize_with(rank, self.svd_algorithm)
-                .map_err(PimError::from)?;
             ranks.push(rank);
+            if let AnyLinear::Dense(dense) = &**layer {
+                jobs.push((index, name.clone(), dense.weight().clone(), rank));
+            }
+        }
+        let algorithm = self.svd_algorithm;
+        let factored = pool.par_map_owned(jobs, move |(index, name, weight, rank)| {
+            let seed = layer_sketch_seed(&name);
+            let result = FactoredLinear::from_weight_seeded(&weight, rank, algorithm, Some(seed));
+            (index, result)
+        });
+        // par_map_owned preserves input order, so the first failure seen
+        // here is the first failing layer in model order — matching the
+        // historical serial loop's error.
+        for (index, result) in factored {
+            let layer = result.map_err(PimError::from)?;
+            if let Some((_, slot)) = layers.get_mut(index) {
+                **slot = AnyLinear::Factored(layer);
+            }
         }
         Ok(ranks)
     }
 
     /// Runs the full pipeline (Algorithm 1 steps 1–4) on a model that has
     /// already been trained in dense form on `train`/`eval`.
+    ///
+    /// The factorization step runs pooled at the machine's default
+    /// parallelism ([`JobPool::with_default_parallelism`]); the result is
+    /// bit-identical to the serial pipeline for every worker count (see
+    /// [`GradientRedistribution::factorize_model_pooled`]). Use
+    /// [`GradientRedistribution::apply_with_pool`] to control the width.
     ///
     /// # Errors
     ///
@@ -172,6 +238,22 @@ impl GradientRedistribution {
         train: &[Sample],
         eval: &[Sample],
     ) -> Result<RedistributionReport> {
+        self.apply_with_pool(model, train, eval, &JobPool::with_default_parallelism())
+    }
+
+    /// [`GradientRedistribution::apply`] with an explicit pool for the
+    /// layer-factorization step.
+    ///
+    /// # Errors
+    ///
+    /// Returns model or decomposition errors.
+    pub fn apply_with_pool(
+        &self,
+        model: &mut TransformerModel,
+        train: &[Sample],
+        eval: &[Sample],
+        pool: &JobPool,
+    ) -> Result<RedistributionReport> {
         if self.finetune_epochs == 0 {
             return Err(PimError::InvalidConfig(
                 "gradient redistribution needs at least one fine-tuning epoch".to_string(),
@@ -179,8 +261,9 @@ impl GradientRedistribution {
         }
         let eval_dense = self.trainer.evaluate(model, eval).map_err(PimError::from)?;
 
-        // Steps 1-2: SVD decomposition + truncation.
-        self.factorize_model(model)?;
+        // Steps 1-2: SVD decomposition + truncation, one pooled job per
+        // independent layer.
+        self.factorize_model_pooled(model, pool)?;
         let eval_truncated = self.trainer.evaluate(model, eval).map_err(PimError::from)?;
 
         // Step 3: fine-tune the factored model.
@@ -419,6 +502,26 @@ mod tests {
             .apply(&mut model, &dataset.train, &dataset.eval)
             .unwrap();
         assert_eq!(report.layer_profiles.len(), 12);
+    }
+
+    #[test]
+    fn pooled_factorization_is_bit_identical_to_serial_for_both_algorithms() {
+        for algorithm in [SvdAlgorithm::Jacobi, SvdAlgorithm::Randomized] {
+            let (reference_model, _dataset, trainer) = trained_tiny_model(7);
+            let pipeline = GradientRedistribution {
+                svd_algorithm: algorithm,
+                ..GradientRedistribution::new(trainer)
+            };
+            let mut serial = reference_model.clone();
+            pipeline.factorize_model(&mut serial).unwrap();
+            for workers in [2, 4, 8] {
+                let mut pooled = reference_model.clone();
+                pipeline
+                    .factorize_model_pooled(&mut pooled, &JobPool::new(workers))
+                    .unwrap();
+                assert_eq!(pooled, serial, "{algorithm} workers={workers}");
+            }
+        }
     }
 
     #[test]

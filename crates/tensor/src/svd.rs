@@ -108,11 +108,20 @@ impl RandomizedSvdConfig {
     /// The default configuration for a given target rank: 8 oversampling
     /// columns and 3 subspace iterations.
     pub fn for_rank(rank: usize) -> Self {
+        RandomizedSvdConfig::for_rank_seeded(rank, 0x5eed_cafe)
+    }
+
+    /// Like [`RandomizedSvdConfig::for_rank`] but with a caller-chosen
+    /// sketch seed. The pooled gradient-redistribution path derives one
+    /// seed per layer from the layer's dotted parameter name, so every
+    /// layer draws an independent sketch no matter which worker (or how
+    /// many workers) factorizes it.
+    pub fn for_rank_seeded(rank: usize, seed: u64) -> Self {
         RandomizedSvdConfig {
             rank,
             oversample: 8,
             power_iterations: 3,
-            seed: 0x5eed_cafe,
+            seed,
         }
     }
 }
@@ -271,6 +280,25 @@ pub fn svd(w: &Matrix) -> Result<Svd> {
 ///
 /// Propagates decomposition failures from either algorithm.
 pub fn svd_with(w: &Matrix, algorithm: SvdAlgorithm, rank: usize) -> Result<Svd> {
+    svd_with_seeded(w, algorithm, rank, None)
+}
+
+/// [`svd_with`] with an optional per-call sketch seed.
+///
+/// `seed` only affects [`SvdAlgorithm::Randomized`] (it replaces the fixed
+/// default of [`RandomizedSvdConfig::for_rank`]); the Jacobi path is
+/// deterministic with no randomness to seed. Passing `None` is exactly
+/// [`svd_with`].
+///
+/// # Errors
+///
+/// Propagates decomposition failures from either algorithm.
+pub fn svd_with_seeded(
+    w: &Matrix,
+    algorithm: SvdAlgorithm,
+    rank: usize,
+    seed: Option<u64>,
+) -> Result<Svd> {
     match algorithm {
         SvdAlgorithm::Jacobi => {
             let d = svd(w)?;
@@ -280,7 +308,13 @@ pub fn svd_with(w: &Matrix, algorithm: SvdAlgorithm, rank: usize) -> Result<Svd>
                 d.truncate(rank)
             }
         }
-        SvdAlgorithm::Randomized => svd_randomized(w, &RandomizedSvdConfig::for_rank(rank)),
+        SvdAlgorithm::Randomized => {
+            let config = match seed {
+                Some(seed) => RandomizedSvdConfig::for_rank_seeded(rank, seed),
+                None => RandomizedSvdConfig::for_rank(rank),
+            };
+            svd_randomized(w, &config)
+        }
     }
 }
 
@@ -322,16 +356,18 @@ pub fn svd_randomized(w: &Matrix, config: &RandomizedSvdConfig) -> Result<Svd> {
     let omega = Matrix::random_normal(w.cols(), sketch, 0.0, 1.0, &mut rng);
     let mut q = w.matmul(&omega)?;
     orthonormalize_columns(&mut q);
-    let wt = w.transpose();
+    // The sketch products run on the packed kernel layer:
+    // `kernels::matmul_transpose_left` computes `wᵀ·q` / `qᵀ·w` without
+    // materializing the transposes, bit-identical to the two-step form.
     for _ in 0..config.power_iterations {
-        let mut z = wt.matmul(&q)?;
+        let mut z = kernels::matmul_transpose_left(w, &q)?;
         orthonormalize_columns(&mut z);
         q = w.matmul(&z)?;
         orthonormalize_columns(&mut q);
     }
 
     // Exact Jacobi on the ℓ×n projection, then lift back to m rows.
-    let b = q.transpose().matmul(w)?;
+    let b = kernels::matmul_transpose_left(&q, w)?;
     let small = svd(&b)?;
     let u = q.matmul(&small.u)?;
     let d = Svd {

@@ -74,13 +74,32 @@ impl FactoredLinear {
     ///
     /// Propagates SVD failures.
     pub fn from_weight_with(weight: &Matrix, rank: usize, algorithm: SvdAlgorithm) -> Result<Self> {
+        Self::from_weight_seeded(weight, rank, algorithm, None)
+    }
+
+    /// [`FactoredLinear::from_weight_with`] with an optional sketch seed.
+    ///
+    /// The seed only affects [`SvdAlgorithm::Randomized`]; the pooled
+    /// gradient-redistribution pipeline passes one seed per layer (derived
+    /// from the layer's parameter name) so concurrent factorizations draw
+    /// independent, schedule-independent sketches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn from_weight_seeded(
+        weight: &Matrix,
+        rank: usize,
+        algorithm: SvdAlgorithm,
+        seed: Option<u64>,
+    ) -> Result<Self> {
         let full_rank = weight.rows().min(weight.cols());
         let k = if rank == 0 {
             full_rank
         } else {
             rank.min(full_rank)
         };
-        let truncated = svd::svd_with(weight, algorithm, k)?;
+        let truncated = svd::svd_with_seeded(weight, algorithm, k, seed)?;
         let sigma_row = Matrix::from_vec(1, k, truncated.singular_values.to_vec())?;
         Ok(FactoredLinear {
             u: Param::new(truncated.u),

@@ -352,8 +352,24 @@ impl AnyLinear {
         rank: usize,
         algorithm: hyflex_tensor::SvdAlgorithm,
     ) -> Result<()> {
+        self.factorize_seeded(rank, algorithm, None)
+    }
+
+    /// [`AnyLinear::factorize_with`] with an optional sketch seed for the
+    /// randomized SVD (see
+    /// [`FactoredLinear::from_weight_seeded`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD errors.
+    pub fn factorize_seeded(
+        &mut self,
+        rank: usize,
+        algorithm: hyflex_tensor::SvdAlgorithm,
+        seed: Option<u64>,
+    ) -> Result<()> {
         if let AnyLinear::Dense(l) = self {
-            let factored = FactoredLinear::from_dense_with(l, rank, algorithm)?;
+            let factored = FactoredLinear::from_weight_seeded(l.weight(), rank, algorithm, seed)?;
             *self = AnyLinear::Factored(factored);
         }
         Ok(())

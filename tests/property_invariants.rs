@@ -176,4 +176,137 @@ proptest! {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(selection::slc_cell_fraction(lo, 2) <= selection::slc_cell_fraction(hi, 2) + 1e-12);
     }
+
+    /// The packed kernels (`matmul_transpose`, `matmul_transpose_left`,
+    /// `matvec`) are bit-identical to their naive reference loops: panel
+    /// packing and register blocking relocate memory, never the per-element
+    /// accumulation order.
+    #[test]
+    fn packed_kernels_are_bit_identical_to_naive(seed in any::<u64>()) {
+        let mut rng = Rng::seed_from(seed);
+        let m = 1 + (seed % 40) as usize;
+        let k = 1 + ((seed >> 8) % 40) as usize;
+        let n = 1 + ((seed >> 16) % 40) as usize;
+        let a = Matrix::random_normal(m, k, 0.0, 1.0, &mut rng);
+        let b = Matrix::random_normal(n, k, 0.0, 1.0, &mut rng);
+
+        // a · bᵀ: independent row-dot-row accumulation, ascending k.
+        let fast = kernels::matmul_transpose(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for (x, y) in a.row(i).iter().zip(b.row(j).iter()) {
+                    acc += x * y;
+                }
+                prop_assert_eq!(fast.at(i, j).to_bits(), acc.to_bits());
+            }
+        }
+
+        // aᵀ · b without materializing the transpose must equal the
+        // materialized two-step product bitwise.
+        let c = Matrix::random_normal(m, n, 0.0, 1.0, &mut rng);
+        let fused = kernels::matmul_transpose_left(&a, &c).unwrap();
+        let two_step = a.transpose().matmul(&c).unwrap();
+        prop_assert_eq!(fused.as_slice(), two_step.as_slice());
+
+        // a · v: row dots, ascending k.
+        let v: Vec<f32> = rng.normal_vec(k);
+        let fast = kernels::matvec(&a, &v).unwrap();
+        for (r, &got) in fast.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (x, y) in a.row(r).iter().zip(v.iter()) {
+                acc += x * y;
+            }
+            prop_assert_eq!(got.to_bits(), acc.to_bits());
+        }
+    }
+}
+
+// The full-pipeline bit-identity proptest runs far fewer cases: each case
+// runs `GradientRedistribution::apply` five times (serial + four pool
+// widths) end to end.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// `GradientRedistribution::apply` on the persistent pool is
+    /// bit-identical to the serial pipeline — same factored model, same
+    /// report — for worker counts {1, 2, 4, 8} and both SVD algorithms
+    /// (each layer's sketch is seeded from its own name, so no worker
+    /// schedule can change which sketch a layer draws).
+    #[test]
+    fn pooled_gradient_redistribution_apply_matches_serial_bitwise(seed in any::<u64>()) {
+        use hyflex_pim::gradient_redistribution::GradientRedistribution;
+        use hyflex_transformer::{AdamWConfig, ModelConfig, Trainer, TransformerModel};
+        use hyflex_workloads::glue::{self, GlueConfig, GlueTask};
+
+        let mut rng = Rng::seed_from(seed);
+        let model = TransformerModel::new(ModelConfig::tiny_encoder(2), &mut rng).unwrap();
+        let dataset = glue::generate(GlueTask::Mrpc, &GlueConfig::default(), seed);
+        let train = &dataset.train[..dataset.train.len().min(16)];
+        let eval = &dataset.eval[..dataset.eval.len().min(8)];
+        let algorithm = if seed.is_multiple_of(2) {
+            SvdAlgorithm::Jacobi
+        } else {
+            SvdAlgorithm::Randomized
+        };
+        let pipeline = GradientRedistribution {
+            svd_algorithm: algorithm,
+            finetune_epochs: 1,
+            ..GradientRedistribution::new(Trainer::new(AdamWConfig::default(), 8))
+        };
+
+        let mut serial_model = model.clone();
+        let serial_report = pipeline
+            .apply_with_pool(&mut serial_model, train, eval, &JobPool::serial())
+            .unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let mut pooled_model = model.clone();
+            let pooled_report = pipeline
+                .apply_with_pool(&mut pooled_model, train, eval, &JobPool::new(workers))
+                .unwrap();
+            prop_assert_eq!(&pooled_model, &serial_model, "model diverged at workers={}", workers);
+            prop_assert_eq!(&pooled_report, &serial_report, "report diverged at workers={}", workers);
+        }
+    }
+}
+
+/// Stress: 10⁴ tiny jobs with uneven costs through `par_map`, each outer job
+/// occasionally re-entering the pool with a nested `scope` *and* a nested
+/// `par_map` (both run inline on the session worker — no thread explosion),
+/// with the result checked against the serial map.
+#[test]
+fn pool_stress_nested_scopes_inside_ten_thousand_uneven_jobs() {
+    fn uneven(x: u64) -> u64 {
+        // Cost varies by two orders of magnitude across neighbours.
+        let spins = (x % 64) * 16;
+        let mut acc = x;
+        for i in 0..spins {
+            acc = acc.wrapping_mul(2654435761).wrapping_add(i);
+        }
+        acc
+    }
+
+    let pool = JobPool::new(4);
+    let items: Vec<u64> = (0..10_000).collect();
+    let work = |&x: &u64| {
+        let mut value = uneven(x);
+        if x % 97 == 0 {
+            // Nested borrowed entry points from inside a pool job.
+            let parts = pool.par_map(&[x, x + 1, x + 2], |&y| uneven(y));
+            let sum = std::sync::atomic::AtomicU64::new(0);
+            pool.scope(|s| {
+                for &p in &parts {
+                    let sum = &sum;
+                    s.spawn(move || {
+                        sum.fetch_add(p, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            value = value.wrapping_add(sum.load(std::sync::atomic::Ordering::Relaxed));
+        }
+        value
+    };
+    let expected: Vec<u64> = items.iter().map(work).collect();
+    let got = pool.par_map(&items, work);
+    assert_eq!(got, expected);
 }

@@ -9,12 +9,31 @@
 //! `cargo bench` useful for relative comparisons while building offline.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(value: T) -> T {
     std_black_box(value)
 }
+
+/// One benchmark's recorded result, as written to the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/id` for grouped benches).
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: u128,
+    /// Fastest batch's per-iteration time in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest batch's per-iteration time in nanoseconds.
+    pub max_ns: u128,
+    /// Number of timed batches behind the statistics.
+    pub samples: usize,
+}
+
+/// Results of every benchmark run by this process, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Number of timed batches per benchmark.
 const BATCHES: usize = 7;
@@ -136,6 +155,126 @@ where
         format_duration(min),
         format_duration(max)
     );
+    if let Ok(mut records) = RECORDS.lock() {
+        records.push(BenchRecord {
+            name: id.to_string(),
+            median_ns: median.as_nanos(),
+            min_ns: min.as_nanos(),
+            max_ns: max.as_nanos(),
+            samples: bencher.samples.len(),
+        });
+    }
+}
+
+/// Writes every recorded benchmark to the JSON report named by the
+/// `HYFLEX_BENCH_JSON` environment variable (no-op when unset). Called by
+/// [`criterion_main!`] after all groups finish, so each bench binary emits
+/// machine-readable results alongside the human-readable `bench …` lines.
+///
+/// The report is *merged*, not overwritten: records already present in the
+/// file keep their entry unless this run re-recorded the same name (the new
+/// result wins), so pointing several bench binaries at one path accumulates
+/// a single workspace-wide `BENCH.json`.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("HYFLEX_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let fresh = match RECORDS.lock() {
+        Ok(records) => records.clone(),
+        Err(_) => return,
+    };
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+        .map(|existing| parse_report(&existing))
+        .unwrap_or_default();
+    for record in fresh {
+        if let Some(slot) = merged.iter_mut().find(|r| r.name == record.name) {
+            *slot = record;
+        } else {
+            merged.push(record);
+        }
+    }
+    let mut json = String::from("{\n  \"benches\": [\n");
+    for (i, r) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}{comma}\n",
+            escape_json(&r.name),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("criterion: failed to write {path}: {err}");
+    }
+}
+
+/// Parses a report previously produced by [`write_json_report`] (one record
+/// per line). Unrecognized lines are skipped, so a hand-edited or corrupt
+/// file degrades to a partial merge instead of an error.
+fn parse_report(text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim().trim_end_matches(',');
+            let body = line.strip_prefix('{')?.strip_suffix('}')?;
+            let name_field = body.strip_prefix("\"name\":\"")?;
+            let (name, rest) = split_escaped_string(name_field)?;
+            let mut median_ns = None;
+            let mut min_ns = None;
+            let mut max_ns = None;
+            let mut samples = None;
+            for field in rest.trim_start_matches(',').split(',') {
+                let (key, value) = field.split_once(':')?;
+                let value = value.trim();
+                match key.trim().trim_matches('"') {
+                    "median_ns" => median_ns = value.parse().ok(),
+                    "min_ns" => min_ns = value.parse().ok(),
+                    "max_ns" => max_ns = value.parse().ok(),
+                    "samples" => samples = value.parse().ok(),
+                    _ => {}
+                }
+            }
+            Some(BenchRecord {
+                name,
+                median_ns: median_ns?,
+                min_ns: min_ns?,
+                max_ns: max_ns?,
+                samples: samples?,
+            })
+        })
+        .collect()
+}
+
+/// Splits `"…\" suffix` at the first unescaped quote, unescaping the head.
+fn split_escaped_string(text: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = text.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &text[i + 1..])),
+            '\\' => {
+                let (_, next) = chars.next()?;
+                out.push(next);
+            }
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+fn escape_json(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_duration(d: Duration) -> String {
@@ -162,12 +301,60 @@ macro_rules! criterion_group {
     };
 }
 
-/// Matches criterion's `criterion_main!(group, ...)` form.
+/// Matches criterion's `criterion_main!(group, ...)` form. After every
+/// group runs, the machine-readable JSON report is flushed (see
+/// [`write_json_report`] and the `HYFLEX_BENCH_JSON` environment variable).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_parse() {
+        let records = vec![
+            BenchRecord {
+                name: "group/bench_a".to_string(),
+                median_ns: 1234,
+                min_ns: 1200,
+                max_ns: 1300,
+                samples: 7,
+            },
+            BenchRecord {
+                name: "odd \"name\"".to_string(),
+                median_ns: 5,
+                min_ns: 4,
+                max_ns: 9,
+                samples: 7,
+            },
+        ];
+        let mut json = String::from("{\n  \"benches\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            let comma = if i + 1 == records.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"name\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}{comma}\n",
+                escape_json(&r.name),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        assert_eq!(parse_report(&json), records);
+    }
+
+    #[test]
+    fn parse_skips_unrecognized_lines() {
+        let text = "{\n  \"benches\": [\nnot json\n  ]\n}\n";
+        assert!(parse_report(text).is_empty());
+    }
 }
